@@ -1,0 +1,63 @@
+//! Figure 19 — Colosseum-style multi-cell experiments: three RF
+//! scenarios (Rome: close/moderate, Boston: close/fast, POWDER:
+//! medium/static) × three cell loads, vanilla srsRAN (PF) vs OutRAN,
+//! reporting the appendix table's FCT columns.
+
+use outran_metrics::table::f1;
+use outran_metrics::Table;
+use outran_phy::Scenario;
+use outran_ran::cell::SchedulerKind;
+use outran_ran::multicell::MultiCell;
+use outran_simcore::Time;
+
+fn main() {
+    let mut t = Table::new(
+        "Fig 19: Colosseum scenarios (4 cells x 4 UEs, 15 RBs)",
+        &[
+            "scenario",
+            "load",
+            "sched",
+            "overall(ms)",
+            "S(ms)",
+            "S p95(ms)",
+            "M(ms)",
+            "L(ms)",
+        ],
+    );
+    for scenario in [
+        Scenario::ColosseumRome,
+        Scenario::ColosseumBoston,
+        Scenario::ColosseumPowder,
+    ] {
+        // The paper's loads {0.2, 0.4, 0.6} are fractions of the 15-RB
+        // cells' *achieved* capacity under Colosseum RF; our load knob is
+        // nominal-peak-relative, so the equivalent contention needs
+        // roughly 1.7x the nominal setting.
+        for load in [0.35, 0.7, 1.05] {
+            for (kind, label) in [
+                (SchedulerKind::Pf, "srsRAN"),
+                (SchedulerKind::OutRan, "OutRAN"),
+            ] {
+                let mut mc = MultiCell::colosseum(scenario, kind, load);
+                mc.duration = Time::from_secs(15);
+                let r = mc.run();
+                t.row(&[
+                    scenario.name(),
+                    format!("{load:.1}"),
+                    label.into(),
+                    f1(r.overall_mean_ms),
+                    f1(r.short_mean_ms),
+                    f1(r.short_p95_ms),
+                    f1(r.medium_mean_ms),
+                    f1(r.long_mean_ms),
+                ]);
+            }
+            eprintln!("  [fig19] {} load {load} done", scenario.name());
+        }
+    }
+    t.print();
+    println!(
+        "\npaper: OutRAN improves average FCT by ~32 % and short-flow FCT by\n\
+         ~56 % across scenarios/loads without hurting long flows"
+    );
+}

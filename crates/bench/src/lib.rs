@@ -1,0 +1,156 @@
+//! # outran-bench
+//!
+//! The harness that regenerates every table and figure of the paper's
+//! evaluation. One binary per figure/table under `src/bin/` (see the
+//! DESIGN.md experiment index for the full mapping) plus Criterion
+//! micro-benchmarks under `benches/` for the Figure 13/14 overhead
+//! claims.
+//!
+//! Shared plumbing lives here: multi-seed averaging of experiment
+//! reports, and the standard figure-row formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use outran_metrics::table::{f1, f2, f3};
+use outran_ran::{Experiment, ExperimentReport};
+
+/// Seeds used by default for averaged experiment points. Three seeds
+/// keeps each figure binary's runtime in the minutes while smoothing the
+/// heavy-tailed FCT noise.
+pub const SEEDS: [u64; 3] = [11, 23, 47];
+
+/// Averages of the scalar metrics of several reports.
+#[derive(Debug, Clone)]
+pub struct AvgReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Mean of overall mean FCTs (ms).
+    pub overall_mean_ms: f64,
+    /// Mean of short-flow mean FCTs (ms).
+    pub short_mean_ms: f64,
+    /// Mean of short-flow 95th percentiles (ms).
+    pub short_p95_ms: f64,
+    /// Mean of short-flow 99th percentiles (ms).
+    pub short_p99_ms: f64,
+    /// Mean of medium-flow mean FCTs (ms).
+    pub medium_mean_ms: f64,
+    /// Mean of long-flow mean FCTs (ms).
+    pub long_mean_ms: f64,
+    /// Mean spectral efficiency (bit/s/Hz).
+    pub spectral_efficiency: f64,
+    /// Mean Jain fairness.
+    pub fairness: f64,
+    /// Mean queueing delay (ms).
+    pub mean_qdelay_ms: f64,
+    /// Mean short-flow queueing delay (ms).
+    pub short_qdelay_ms: f64,
+    /// Mean TCP RTT (ms).
+    pub mean_rtt_ms: f64,
+    /// Total completed flows across seeds.
+    pub completed: usize,
+    /// The individual reports (for CDFs etc.).
+    pub runs: Vec<ExperimentReport>,
+}
+
+/// Run `build(seed)` for every seed and average the scalar metrics.
+pub fn run_avg(build: impl Fn(u64) -> Experiment, seeds: &[u64]) -> AvgReport {
+    assert!(!seeds.is_empty());
+    let runs: Vec<ExperimentReport> = seeds.iter().map(|&s| build(s).run()).collect();
+    let n = runs.len() as f64;
+    let mean = |f: &dyn Fn(&ExperimentReport) -> f64| -> f64 {
+        let vals: Vec<f64> = runs.iter().map(f).filter(|v| !v.is_nan()).collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let _ = n;
+    AvgReport {
+        scheduler: runs[0].scheduler.clone(),
+        overall_mean_ms: mean(&|r| r.fct.overall_mean_ms),
+        short_mean_ms: mean(&|r| r.fct.short_mean_ms),
+        short_p95_ms: mean(&|r| r.fct.short_p95_ms),
+        short_p99_ms: mean(&|r| r.fct.short_p99_ms),
+        medium_mean_ms: mean(&|r| r.fct.medium_mean_ms),
+        long_mean_ms: mean(&|r| r.fct.long_mean_ms),
+        spectral_efficiency: mean(&|r| r.spectral_efficiency),
+        fairness: mean(&|r| r.fairness),
+        mean_qdelay_ms: mean(&|r| r.mean_qdelay_ms),
+        short_qdelay_ms: mean(&|r| r.short_qdelay_ms),
+        mean_rtt_ms: mean(&|r| r.mean_rtt_ms),
+        completed: runs.iter().map(|r| r.fct.count).sum(),
+        runs,
+    }
+}
+
+impl AvgReport {
+    /// Standard row cells: FCT buckets + SE + fairness.
+    pub fn fct_row(&self) -> Vec<String> {
+        vec![
+            self.scheduler.clone(),
+            f1(self.overall_mean_ms),
+            f1(self.short_mean_ms),
+            f1(self.short_p95_ms),
+            f1(self.medium_mean_ms),
+            f1(self.long_mean_ms),
+            f2(self.spectral_efficiency),
+            f3(self.fairness),
+        ]
+    }
+
+    /// Standard headers matching [`AvgReport::fct_row`].
+    pub fn fct_headers() -> Vec<&'static str> {
+        vec![
+            "scheduler",
+            "overall(ms)",
+            "S avg(ms)",
+            "S p95(ms)",
+            "M avg(ms)",
+            "L avg(ms)",
+            "SE(b/s/Hz)",
+            "fairness",
+        ]
+    }
+}
+
+/// Merge per-seed FCT CDF points of a bucket into one pooled CDF.
+pub fn pooled_fct_cdf(
+    report: &mut AvgReport,
+    bucket: Option<outran_metrics::SizeBucket>,
+    max_points: usize,
+) -> Vec<(f64, f64)> {
+    let mut all = outran_simcore::Percentiles::new();
+    for run in &mut report.runs {
+        for &(v, _) in &run.fct_collector.cdf(bucket, usize::MAX) {
+            all.push(v);
+        }
+    }
+    all.cdf_points(max_points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outran_ran::SchedulerKind;
+
+    #[test]
+    fn run_avg_smoke() {
+        let avg = run_avg(
+            |seed| {
+                Experiment::lte_default()
+                    .users(4)
+                    .load(0.3)
+                    .duration_secs(3)
+                    .scheduler(SchedulerKind::Pf)
+                    .seed(seed)
+            },
+            &[1, 2],
+        );
+        assert_eq!(avg.runs.len(), 2);
+        assert!(avg.completed > 0);
+        assert!(!avg.fct_row().is_empty());
+        assert_eq!(avg.fct_row().len(), AvgReport::fct_headers().len());
+    }
+}

@@ -1,0 +1,440 @@
+//! Argument parsing and execution for the `outran-sim` CLI.
+//!
+//! Kept as a library so the parser is unit-testable without spawning the
+//! binary. No external argument-parsing crates: a ~flag=value / flag
+//! value grammar over `std::env` keeps the dependency set minimal
+//! (smoltcp ethos).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use outran_core::OutRanConfig;
+use outran_mac::SrjfMode;
+use outran_phy::harq::HarqConfig;
+use outran_phy::Scenario;
+use outran_ran::{Experiment, RlcMode, SchedulerKind};
+use outran_simcore::Dur;
+use outran_workload::FlowSizeDist;
+
+/// Help text.
+pub const HELP: &str = "\
+outran-sim — OutRAN cell simulator (CoNEXT'22 reproduction)
+
+USAGE:
+  outran-sim [FLAGS]
+
+FLAGS (flag value  or  flag=value):
+  --scheduler K   pf | mt | rr | bet | mlwdf | srjf | pss | cqa | outran | strict-mlfq
+                  | outran:<eps>         (e.g. outran:0.4)      [outran]
+  --scenario S    lte | nr0|nr1|nr2|nr3 | rome | boston | powder
+                  | testbed                                     [lte]
+  --dist D        lte | mirage | websearch | incast             [per scenario]
+  --users N       number of UEs                                 [20]
+  --load X        offered load vs nominal capacity, 0-2         [0.6]
+  --secs N        simulated horizon in seconds                  [10]
+  --seed N        root seed (same seed = identical run)         [1]
+  --rlc M         um | am                                       [um]
+  --buffer N      per-UE RLC buffer capacity in SDUs            [128]
+  --tf-ms N       PF fairness window in ms                      [1000]
+  --cn-ms N       one-way wired core delay in ms                [10]
+  --epsilon X     OutRAN relaxation threshold                   [0.2]
+  --reset-ms N    OutRAN priority-reset period in ms            [off]
+  --harq          explicit HARQ processes (8, rtt 8 TTIs)       [folded]
+  --loss X        residual post-HARQ segment loss prob          [0.002]
+  --srjf-mode M   waterfall | winner-only | backlog             [waterfall]
+  --cdf B         also print a FCT CDF: short | medium | long | all
+  --csv PATH      write per-flow records (size_bytes,fct_ms) to PATH
+  -h, --help      this text
+";
+
+/// Parsed options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Opts {
+    /// MAC scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Radio scenario.
+    pub scenario: Scenario,
+    /// Flow-size distribution (None = scenario default).
+    pub dist: Option<FlowSizeDist>,
+    /// Number of UEs.
+    pub users: usize,
+    /// Offered load.
+    pub load: f64,
+    /// Horizon (s).
+    pub secs: u64,
+    /// Seed.
+    pub seed: u64,
+    /// RLC mode.
+    pub rlc: RlcMode,
+    /// Buffer SDUs.
+    pub buffer: usize,
+    /// PF fairness window.
+    pub tf: Dur,
+    /// CN delay.
+    pub cn: Dur,
+    /// OutRAN ε (applied when scheduler is OutRAN-family).
+    pub epsilon: f64,
+    /// Priority-reset period.
+    pub reset: Option<Dur>,
+    /// Explicit HARQ.
+    pub harq: bool,
+    /// Residual loss.
+    pub loss: f64,
+    /// SRJF grant mode.
+    pub srjf_mode: SrjfMode,
+    /// Which FCT CDF to print, if any.
+    pub cdf: Option<CdfSel>,
+    /// Write per-flow records (size_bytes,fct_ms) to this CSV path.
+    pub csv: Option<String>,
+}
+
+/// CDF selection for `--cdf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CdfSel {
+    /// Short flows only.
+    Short,
+    /// Medium flows only.
+    Medium,
+    /// Long flows only.
+    Long,
+    /// All flows.
+    All,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scheduler: SchedulerKind::OutRan,
+            scenario: Scenario::LtePedestrian,
+            dist: None,
+            users: 20,
+            load: 0.6,
+            secs: 10,
+            seed: 1,
+            rlc: RlcMode::Um,
+            buffer: 128,
+            tf: Dur::from_millis(1000),
+            cn: Dur::from_millis(10),
+            epsilon: 0.2,
+            reset: None,
+            harq: false,
+            loss: 0.002,
+            srjf_mode: SrjfMode::Waterfall,
+            cdf: None,
+            csv: None,
+        }
+    }
+}
+
+/// Parse a raw argument list (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = args.iter().peekable();
+    // flag=value and flag value are both accepted.
+    let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                          flag: &str,
+                          inline: Option<&str>|
+     -> Result<String, String> {
+        if let Some(v) = inline {
+            return Ok(v.to_string());
+        }
+        it.next()
+            .map(|s| s.to_string())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(raw) = it.next() {
+        let (flag, inline) = match raw.split_once('=') {
+            Some((f, v)) => (f, Some(v)),
+            None => (raw.as_str(), None),
+        };
+        match flag {
+            "--scheduler" => {
+                let v = next_value(&mut it, flag, inline)?;
+                o.scheduler = parse_scheduler(&v)?;
+            }
+            "--scenario" => {
+                let v = next_value(&mut it, flag, inline)?;
+                o.scenario = parse_scenario(&v)?;
+            }
+            "--dist" => {
+                let v = next_value(&mut it, flag, inline)?;
+                o.dist = Some(match v.as_str() {
+                    "lte" => FlowSizeDist::LteCellular,
+                    "mirage" => FlowSizeDist::MirageMobileApp,
+                    "websearch" => FlowSizeDist::Websearch,
+                    "incast" => FlowSizeDist::Incast8k,
+                    other => return Err(format!("unknown dist '{other}'")),
+                });
+            }
+            "--users" => o.users = parse_num(&next_value(&mut it, flag, inline)?, flag)?,
+            "--load" => o.load = parse_f64(&next_value(&mut it, flag, inline)?, flag)?,
+            "--secs" => o.secs = parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64,
+            "--seed" => o.seed = parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64,
+            "--rlc" => {
+                o.rlc = match next_value(&mut it, flag, inline)?.as_str() {
+                    "um" => RlcMode::Um,
+                    "am" => RlcMode::Am,
+                    other => return Err(format!("unknown rlc mode '{other}'")),
+                };
+            }
+            "--buffer" => o.buffer = parse_num(&next_value(&mut it, flag, inline)?, flag)?,
+            "--tf-ms" => {
+                o.tf = Dur::from_millis(parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64)
+            }
+            "--cn-ms" => {
+                o.cn = Dur::from_millis(parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64)
+            }
+            "--epsilon" => o.epsilon = parse_f64(&next_value(&mut it, flag, inline)?, flag)?,
+            "--reset-ms" => {
+                o.reset = Some(Dur::from_millis(
+                    parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64,
+                ))
+            }
+            "--harq" => o.harq = true,
+            "--loss" => o.loss = parse_f64(&next_value(&mut it, flag, inline)?, flag)?,
+            "--srjf-mode" => {
+                o.srjf_mode = match next_value(&mut it, flag, inline)?.as_str() {
+                    "waterfall" => SrjfMode::Waterfall,
+                    "winner-only" => SrjfMode::WinnerOnly,
+                    "backlog" => SrjfMode::WaterfallBacklog,
+                    other => return Err(format!("unknown srjf mode '{other}'")),
+                };
+            }
+            "--csv" => {
+                o.csv = Some(next_value(&mut it, flag, inline)?);
+            }
+            "--cdf" => {
+                o.cdf = Some(match next_value(&mut it, flag, inline)?.as_str() {
+                    "short" => CdfSel::Short,
+                    "medium" => CdfSel::Medium,
+                    "long" => CdfSel::Long,
+                    "all" => CdfSel::All,
+                    other => return Err(format!("unknown cdf selection '{other}'")),
+                });
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if !(0.0..=2.0).contains(&o.load) || o.load == 0.0 {
+        return Err(format!("--load must be in (0, 2], got {}", o.load));
+    }
+    if !(0.0..=1.0).contains(&o.epsilon) {
+        return Err(format!("--epsilon must be in [0, 1], got {}", o.epsilon));
+    }
+    if o.users == 0 {
+        return Err("--users must be at least 1".into());
+    }
+    Ok(o)
+}
+
+fn parse_scheduler(v: &str) -> Result<SchedulerKind, String> {
+    if let Some(eps) = v.strip_prefix("outran:") {
+        let e: f64 = eps
+            .parse()
+            .map_err(|_| format!("bad epsilon in '{v}'"))?;
+        return Ok(SchedulerKind::OutRanEps(e));
+    }
+    Ok(match v {
+        "pf" => SchedulerKind::Pf,
+        "mt" => SchedulerKind::Mt,
+        "rr" => SchedulerKind::Rr,
+        "bet" => SchedulerKind::Bet,
+        "mlwdf" => SchedulerKind::Mlwdf,
+        "srjf" => SchedulerKind::Srjf,
+        "pss" => SchedulerKind::Pss,
+        "cqa" => SchedulerKind::Cqa,
+        "outran" => SchedulerKind::OutRan,
+        "strict-mlfq" => SchedulerKind::StrictMlfq,
+        other => return Err(format!("unknown scheduler '{other}'")),
+    })
+}
+
+fn parse_scenario(v: &str) -> Result<Scenario, String> {
+    Ok(match v {
+        "lte" => Scenario::LtePedestrian,
+        "nr0" => Scenario::NrUrban(0),
+        "nr1" => Scenario::NrUrban(1),
+        "nr2" => Scenario::NrUrban(2),
+        "nr3" => Scenario::NrUrban(3),
+        "rome" => Scenario::ColosseumRome,
+        "boston" => Scenario::ColosseumBoston,
+        "powder" => Scenario::ColosseumPowder,
+        "testbed" => Scenario::Testbed,
+        other => return Err(format!("unknown scenario '{other}'")),
+    })
+}
+
+fn parse_num(v: &str, flag: &str) -> Result<usize, String> {
+    v.parse().map_err(|_| format!("{flag}: bad number '{v}'"))
+}
+
+fn parse_f64(v: &str, flag: &str) -> Result<f64, String> {
+    v.parse().map_err(|_| format!("{flag}: bad number '{v}'"))
+}
+
+/// Execute an experiment per the options and print the report.
+pub fn run(o: &Opts) {
+    let dist = o.dist.unwrap_or(match o.scenario {
+        Scenario::NrUrban(_) => FlowSizeDist::MirageMobileApp,
+        _ => FlowSizeDist::LteCellular,
+    });
+    let mut outran_cfg = OutRanConfig {
+        epsilon: o.epsilon,
+        reset_period: o.reset,
+        ..OutRanConfig::default()
+    };
+    outran_cfg.buffer_sdus = o.buffer;
+    let mut exp = Experiment::lte_default()
+        .scenario(o.scenario)
+        .scheduler(match o.scheduler {
+            SchedulerKind::OutRan => SchedulerKind::OutRanEps(o.epsilon),
+            k => k,
+        })
+        .dist(dist)
+        .users(o.users)
+        .load(o.load)
+        .duration_secs(o.secs)
+        .seed(o.seed)
+        .rlc_mode(o.rlc)
+        .buffer_sdus(o.buffer)
+        .fairness_window(o.tf)
+        .cn_delay(o.cn)
+        .outran(outran_cfg)
+        .residual_loss(o.loss)
+        .srjf_mode(o.srjf_mode);
+    if o.harq {
+        exp = exp.harq(Some(HarqConfig::default()));
+    }
+    let mut r = exp.run();
+
+    println!(
+        "scenario {}  scheduler {}  users {}  load {}  {}s  seed {}",
+        o.scenario.name(),
+        r.scheduler,
+        o.users,
+        o.load,
+        o.secs,
+        o.seed
+    );
+    println!(
+        "flows: {} completed / {} offered   buffer drops: {}",
+        r.completed, r.offered, r.buffer_drops
+    );
+    println!(
+        "FCT (ms): overall {:.1}  S avg {:.1}  S p95 {:.1}  S p99 {:.1}  M {:.1}  L {:.1}",
+        r.fct.overall_mean_ms,
+        r.fct.short_mean_ms,
+        r.fct.short_p95_ms,
+        r.fct.short_p99_ms,
+        r.fct.medium_mean_ms,
+        r.fct.long_mean_ms
+    );
+    println!(
+        "cell: SE {:.2} bit/s/Hz   fairness {:.3}   mean Q delay {:.1} ms (short {:.1} ms)",
+        r.spectral_efficiency, r.fairness, r.mean_qdelay_ms, r.short_qdelay_ms
+    );
+    if let Some(path) = &o.csv {
+        let mut out = String::from("size_bytes,fct_ms\n");
+        for (bytes, fct) in &r.flow_records {
+            out.push_str(&format!("{bytes},{fct:.3}\n"));
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => println!("wrote {} flow records to {path}", r.flow_records.len()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+    if let Some(sel) = o.cdf {
+        let bucket = match sel {
+            CdfSel::Short => Some(outran_metrics::SizeBucket::Short),
+            CdfSel::Medium => Some(outran_metrics::SizeBucket::Medium),
+            CdfSel::Long => Some(outran_metrics::SizeBucket::Long),
+            CdfSel::All => None,
+        };
+        let pts = r.fct_collector.cdf(bucket, 40);
+        outran_metrics::table::print_series("FCT (ms) CDF", &pts, 40);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Opts, String> {
+        let args: Vec<String> = s.split_whitespace().map(|x| x.to_string()).collect();
+        parse_args(&args)
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let o = parse("").unwrap();
+        assert_eq!(o, Opts::default());
+    }
+
+    #[test]
+    fn both_flag_grammars() {
+        let a = parse("--users 12 --load 0.7").unwrap();
+        let b = parse("--users=12 --load=0.7").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.users, 12);
+        assert!((a.load - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheduler_variants() {
+        assert_eq!(parse("--scheduler pf").unwrap().scheduler, SchedulerKind::Pf);
+        assert_eq!(
+            parse("--scheduler strict-mlfq").unwrap().scheduler,
+            SchedulerKind::StrictMlfq
+        );
+        match parse("--scheduler outran:0.4").unwrap().scheduler {
+            SchedulerKind::OutRanEps(e) => assert!((e - 0.4).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("--scheduler bogus").is_err());
+    }
+
+    #[test]
+    fn scenario_and_dist() {
+        let o = parse("--scenario nr2 --dist websearch").unwrap();
+        assert_eq!(o.scenario, Scenario::NrUrban(2));
+        assert_eq!(o.dist, Some(FlowSizeDist::Websearch));
+        assert!(parse("--scenario mars").is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(parse("--load 0").is_err());
+        assert!(parse("--load 5").is_err());
+        assert!(parse("--epsilon 2").is_err());
+        assert!(parse("--users 0").is_err());
+        assert!(parse("--users").is_err());
+        assert!(parse("--frobnicate 3").is_err());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(
+            "--scheduler outran --scenario lte --users 8 --load 0.5 --secs 4 \
+             --seed 9 --rlc am --buffer 256 --tf-ms 500 --cn-ms 20 \
+             --epsilon 0.3 --reset-ms 500 --harq --loss 0.01 \
+             --srjf-mode winner-only --cdf short",
+        )
+        .unwrap();
+        assert_eq!(o.rlc, RlcMode::Am);
+        assert_eq!(o.buffer, 256);
+        assert_eq!(o.tf, Dur::from_millis(500));
+        assert_eq!(o.cn, Dur::from_millis(20));
+        assert!((o.epsilon - 0.3).abs() < 1e-12);
+        assert_eq!(o.reset, Some(Dur::from_millis(500)));
+        assert!(o.harq);
+        assert_eq!(o.srjf_mode, SrjfMode::WinnerOnly);
+        assert_eq!(o.cdf, Some(CdfSel::Short));
+    }
+
+    #[test]
+    fn run_smoke() {
+        // A tiny end-to-end run through the CLI path.
+        let o = parse("--users 4 --load 0.3 --secs 2 --scheduler pf").unwrap();
+        run(&o);
+    }
+}

@@ -1,0 +1,28 @@
+//! `outran-sim` — run one cell experiment from the command line.
+//!
+//! ```console
+//! outran-sim --scheduler outran --users 40 --load 0.6 --secs 20
+//! outran-sim --scenario nr1 --scheduler srjf --dist mirage --secs 8
+//! outran-sim --scheduler pf --rlc am --buffer 640 --cdf short
+//! ```
+//!
+//! Run `outran-sim --help` for every knob. The tool prints the standard
+//! experiment report (FCT buckets, spectral efficiency, fairness) and,
+//! on request, figure-style CDFs.
+
+use outran_cli::{parse_args, run, HELP};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
+    match parse_args(&args) {
+        Ok(opts) => run(&opts),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            std::process::exit(2);
+        }
+    }
+}

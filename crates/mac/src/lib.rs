@@ -1,0 +1,60 @@
+//! # outran-mac
+//!
+//! The MAC-layer downlink resource scheduler of the xNodeB — the place
+//! where, every TTI, the available Resource Blocks are distributed among
+//! users (paper §4.1), and where OutRAN's **inter-user flow scheduler**
+//! (§4.3, Algorithm 1) re-selects users within the ε-relaxed metric band.
+//!
+//! All schedulers share the practical per-RB-metric architecture of
+//! §4.1: for each RB, iterate over users, compute a scalar metric
+//! `m_{u,b}(t)`, and give the RB to the best user — O(|U|·|B|) total.
+//!
+//! Implemented schedulers:
+//!
+//! | type | per-RB metric | paper role |
+//! |---|---|---|
+//! | [`pf::PfScheduler`] | `r_{u,b} / r̃_u` (EWMA window = fairness window T_f) | the de-facto baseline |
+//! | [`pf::MtScheduler`] | `r_{u,b}` | max-throughput extreme of the T_f sweep |
+//! | [`pf::RrScheduler`] | round-robin over active users | small-T_f extreme |
+//! | [`srjf::SrjfScheduler`] | oracle: min remaining flow size, channel-blind | the §3 motivation / upper bound |
+//! | [`qos::PssScheduler`] | PF restricted to the QoS (delay-budget) set first | QoS-aware baseline (NS-3 PSS) |
+//! | [`qos::CqaScheduler`] | HOL-delay-weighted PF | QoS-aware baseline (NS-3 CQA) |
+//! | [`outran::OutRanScheduler`] | Algorithm 1 around a PF/MT core | the paper's contribution |
+
+//!
+//! # Example
+//!
+//! ```
+//! use outran_mac::{OutRanScheduler, Scheduler, UeTti};
+//! use outran_mac::types::FlatRates;
+//! use outran_pdcp::Priority;
+//! use outran_simcore::Time;
+//!
+//! // Two users with near-equal channels; the one holding a P1 (short)
+//! // flow wins the RBs under the e-relaxed re-selection.
+//! let rates = FlatRates { per_ue: vec![100.0, 95.0], rbs: 4 };
+//! let mk = |prio| UeTti {
+//!     active: true, head_priority: Some(Priority(prio)),
+//!     queued_bytes: 10_000, ..UeTti::idle()
+//! };
+//! let ues = vec![mk(2), mk(0)];
+//! let mut sched = OutRanScheduler::over_mt(0.2);
+//! let alloc = sched.allocate(Time::ZERO, &ues, &rates);
+//! assert!(alloc.rb_to_ue.iter().all(|&u| u == Some(1)));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod outran;
+pub mod pf;
+pub mod qos;
+pub mod srjf;
+pub mod types;
+
+pub use classic::{BetScheduler, MlwdfScheduler};
+pub use outran::OutRanScheduler;
+pub use pf::{MtScheduler, PfCore, PfScheduler, RrScheduler};
+pub use qos::{CqaScheduler, PssScheduler, QosParams};
+pub use srjf::{SrjfMode, SrjfScheduler};
+pub use types::{Allocation, RateSource, Scheduler, UeTti};

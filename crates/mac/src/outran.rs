@@ -1,0 +1,294 @@
+//! OutRAN's inter-user flow scheduler — Algorithm 1 of the paper.
+//!
+//! For every RB `b` of every TTI:
+//!
+//! 1. **First iteration** (identical to the legacy scheduler): find
+//!    `û = argmax_u m_{u,b}(t)` and remember `m_max`.
+//! 2. **Second iteration**: collect the primary candidate set
+//!    `U′ = { u : m_{u,b}(t) ≥ (1−ε)·m_max }` and re-select
+//!    `u* = argmax_{u∈U′} (max_{f∈F_u} Priority(f))` — the candidate whose
+//!    MLFQ head priority (carried in OutRAN's extended BSR) is highest,
+//!    ties broken toward the better metric (so ε = 0 degenerates to the
+//!    legacy scheduler exactly).
+//!
+//! This "guarantees at least (1−ε) of the per-RB metric … while expanding
+//! the room |ε| for SJF flow scheduling", keeps the legacy scheduler's
+//! O(|U|·|B|) complexity (one extra linear pass), and — unlike a top-K
+//! selection — naturally condenses the candidate set when the user metric
+//! distribution is heterogeneous (Figure 6).
+
+use outran_simcore::{Dur, Time};
+
+use crate::pf::PfCore;
+use crate::types::{Allocation, RateSource, Scheduler, UeTti};
+
+/// The legacy metric OutRAN relaxes.
+#[derive(Debug, Clone)]
+pub enum BaseMetric {
+    /// Proportional Fair with its fairness-window state.
+    Pf(PfCore),
+    /// Max Throughput (rate-only metric).
+    Mt,
+}
+
+impl BaseMetric {
+    fn metric(&self, ue: usize, rate: f64) -> f64 {
+        match self {
+            BaseMetric::Pf(core) => core.metric(ue, rate),
+            BaseMetric::Mt => rate,
+        }
+    }
+
+    fn update(&mut self, served_bits: &[f64]) {
+        if let BaseMetric::Pf(core) = self {
+            core.update(served_bits);
+        }
+    }
+}
+
+/// The OutRAN MAC scheduler: a legacy metric core + the ε-relaxed
+/// re-selection by MLFQ priority.
+#[derive(Debug, Clone)]
+pub struct OutRanScheduler {
+    base: BaseMetric,
+    epsilon: f64,
+}
+
+impl OutRanScheduler {
+    /// The paper's default relaxation threshold (§4.3 Parameter choice:
+    /// "We chose ε = 0.2 … the best balance").
+    pub const DEFAULT_EPSILON: f64 = 0.2;
+
+    /// OutRAN over PF with the given fairness window.
+    pub fn over_pf(n_ues: usize, tf: Dur, tti: Dur, epsilon: f64) -> OutRanScheduler {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon={epsilon}");
+        OutRanScheduler {
+            base: BaseMetric::Pf(PfCore::new(n_ues, tf, tti)),
+            epsilon,
+        }
+    }
+
+    /// OutRAN over the MT metric (used by the Fig 18b ablation).
+    pub fn over_mt(epsilon: f64) -> OutRanScheduler {
+        assert!((0.0..=1.0).contains(&epsilon));
+        OutRanScheduler {
+            base: BaseMetric::Mt,
+            epsilon,
+        }
+    }
+
+    /// The relaxation threshold ε in force.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Effective user priority for re-selection: the head MLFQ priority,
+    /// or a sentinel worse than any real level when the Tx queue is empty
+    /// (AM ctrl/retx-only users — §4.4 keeps per-flow state only for TxQ).
+    fn user_prio(ue: &UeTti) -> u8 {
+        ue.head_priority.map_or(u8::MAX, |p| p.0)
+    }
+}
+
+impl Scheduler for OutRanScheduler {
+    fn allocate(&mut self, _now: Time, ues: &[UeTti], rates: &dyn RateSource) -> Allocation {
+        let n_rbs = rates.n_rbs();
+        let mut alloc = Allocation::empty(n_rbs, ues.len());
+        // Scratch reused across RBs to avoid per-RB allocation.
+        let mut metrics: Vec<f64> = vec![0.0; ues.len()];
+        for rb in 0..n_rbs {
+            // First iteration: legacy best (Algorithm 1 lines 4–8).
+            let mut m_max = f64::NEG_INFINITY;
+            let mut best: Option<usize> = None;
+            for (u, ue) in ues.iter().enumerate() {
+                if !ue.active {
+                    metrics[u] = f64::NEG_INFINITY;
+                    continue;
+                }
+                let r = rates.rate(u, rb);
+                if r <= 0.0 {
+                    metrics[u] = f64::NEG_INFINITY;
+                    continue;
+                }
+                let m = self.base.metric(u, r);
+                metrics[u] = m;
+                if m > m_max {
+                    m_max = m;
+                    best = Some(u);
+                }
+            }
+            let Some(legacy_best) = best else {
+                continue; // no eligible user for this RB
+            };
+            // Second iteration: re-select within the ε band by MLFQ
+            // priority (Algorithm 1 lines 10–16).
+            let floor = (1.0 - self.epsilon) * m_max;
+            let mut selected = legacy_best;
+            let mut sel_prio = Self::user_prio(&ues[legacy_best]);
+            let mut sel_metric = m_max;
+            for (u, ue) in ues.iter().enumerate() {
+                if u == legacy_best || metrics[u] < floor {
+                    continue;
+                }
+                let p = Self::user_prio(ue);
+                // Higher MLFQ priority = numerically smaller level. Ties
+                // go to the better metric so ε→0 matches legacy exactly.
+                if p < sel_prio || (p == sel_prio && metrics[u] > sel_metric) {
+                    selected = u;
+                    sel_prio = p;
+                    sel_metric = metrics[u];
+                }
+            }
+            alloc.assign(rb, selected as u16, rates.rate(selected, rb));
+        }
+        alloc
+    }
+
+    fn on_served(&mut self, served_bits: &[f64]) {
+        self.base.update(served_bits);
+    }
+
+    fn name(&self) -> &'static str {
+        "OutRAN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pf::PfScheduler;
+    use crate::types::FlatRates;
+    use outran_pdcp::Priority;
+
+    fn ue(active: bool, prio: Option<u8>) -> UeTti {
+        UeTti {
+            active,
+            head_priority: prio.map(Priority),
+            queued_bytes: 1000,
+            ..UeTti::idle()
+        }
+    }
+
+    fn tf() -> Dur {
+        Dur::from_millis(200)
+    }
+    fn tti() -> Dur {
+        Dur::from_millis(1)
+    }
+
+    #[test]
+    fn epsilon_zero_matches_pf_exactly() {
+        let rates = FlatRates {
+            per_ue: vec![100.0, 250.0, 180.0],
+            rbs: 10,
+        };
+        let ues = vec![ue(true, Some(3)), ue(true, Some(0)), ue(true, Some(1))];
+        let mut pf = PfScheduler::with_tf(3, tf(), tti());
+        let mut or = OutRanScheduler::over_pf(3, tf(), tti(), 0.0);
+        for _ in 0..100 {
+            let a = pf.allocate(Time::ZERO, &ues, &rates);
+            let b = or.allocate(Time::ZERO, &ues, &rates);
+            assert_eq!(a.rb_to_ue, b.rb_to_ue);
+            pf.on_served(&a.bits_per_ue);
+            or.on_served(&b.bits_per_ue);
+        }
+    }
+
+    #[test]
+    fn reselects_higher_priority_within_band() {
+        // Two users with near-equal metrics; the short-flow user (P1)
+        // must win even though its metric is slightly lower.
+        let rates = FlatRates {
+            per_ue: vec![100.0, 95.0],
+            rbs: 4,
+        };
+        let ues = vec![ue(true, Some(2)), ue(true, Some(0))];
+        let mut or = OutRanScheduler::over_mt(0.2);
+        let a = or.allocate(Time::ZERO, &ues, &rates);
+        assert!(a.rb_to_ue.iter().all(|&x| x == Some(1)));
+    }
+
+    #[test]
+    fn does_not_reselect_outside_band() {
+        // The short-flow user's metric is 50% below max — outside ε=0.2.
+        let rates = FlatRates {
+            per_ue: vec![100.0, 50.0],
+            rbs: 4,
+        };
+        let ues = vec![ue(true, Some(2)), ue(true, Some(0))];
+        let mut or = OutRanScheduler::over_mt(0.2);
+        let a = or.allocate(Time::ZERO, &ues, &rates);
+        assert!(a.rb_to_ue.iter().all(|&x| x == Some(0)));
+    }
+
+    #[test]
+    fn epsilon_one_is_pure_sjf_among_active() {
+        // ε=1: every active user is a candidate; lowest priority level
+        // wins regardless of channel ("expands the entire room for SJF").
+        let rates = FlatRates {
+            per_ue: vec![1000.0, 1.0],
+            rbs: 4,
+        };
+        let ues = vec![ue(true, Some(1)), ue(true, Some(0))];
+        let mut or = OutRanScheduler::over_mt(1.0);
+        let a = or.allocate(Time::ZERO, &ues, &rates);
+        assert!(a.rb_to_ue.iter().all(|&x| x == Some(1)));
+    }
+
+    #[test]
+    fn empty_txq_user_loses_reselection() {
+        // AM retx-only user (no head priority) must not beat a P1 user.
+        let rates = FlatRates {
+            per_ue: vec![100.0, 100.0],
+            rbs: 4,
+        };
+        let ues = vec![ue(true, None), ue(true, Some(0))];
+        let mut or = OutRanScheduler::over_mt(0.2);
+        let a = or.allocate(Time::ZERO, &ues, &rates);
+        assert!(a.rb_to_ue.iter().all(|&x| x == Some(1)));
+    }
+
+    #[test]
+    fn tie_priorities_keep_legacy_choice() {
+        let rates = FlatRates {
+            per_ue: vec![100.0, 99.0],
+            rbs: 4,
+        };
+        let ues = vec![ue(true, Some(1)), ue(true, Some(1))];
+        let mut or = OutRanScheduler::over_mt(0.5);
+        let a = or.allocate(Time::ZERO, &ues, &rates);
+        assert!(a.rb_to_ue.iter().all(|&x| x == Some(0)));
+    }
+
+    #[test]
+    fn guarantees_metric_floor() {
+        // Property: for every assigned RB, the winner's metric is within
+        // (1-eps) of the per-RB max over active users.
+        let eps = 0.3;
+        let rates = FlatRates {
+            per_ue: vec![120.0, 100.0, 90.0, 60.0],
+            rbs: 16,
+        };
+        let ues = vec![
+            ue(true, Some(3)),
+            ue(true, Some(2)),
+            ue(true, Some(0)),
+            ue(true, Some(0)),
+        ];
+        let mut or = OutRanScheduler::over_mt(eps);
+        let a = or.allocate(Time::ZERO, &ues, &rates);
+        let m_max = 120.0;
+        for &assigned in a.rb_to_ue.iter() {
+            let u = assigned.unwrap() as usize;
+            assert!(rates.per_ue[u] >= (1.0 - eps) * m_max - 1e-9);
+        }
+        // And the winner is the P1 user inside the band (90 >= 84).
+        assert!(a.rb_to_ue.iter().all(|&x| x == Some(2)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_invalid_epsilon() {
+        let _ = OutRanScheduler::over_mt(1.5);
+    }
+}

@@ -1,0 +1,202 @@
+//! The Shortest Remaining Job First oracle scheduler.
+//!
+//! §3/§6.2: "SRJF is an optimal flow scheduling scheme in DCN that has
+//! perfect knowledge of flow size. SRJF schedules flows based on the
+//! remaining flow size, being ignorant of the channel condition." In the
+//! worst case "the user will grab all the bandwidth (with poor spectral
+//! efficiency) to finish its flow" — exactly the behaviour reproduced
+//! here: the UE carrying the globally smallest remaining flow receives
+//! every RB of the TTI, regardless of its channel.
+
+use outran_simcore::Time;
+
+use crate::types::{Allocation, RateSource, Scheduler, UeTti};
+
+/// How the SRJF oracle spends a TTI's leftover capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SrjfMode {
+    /// Serve only the user carrying the globally shortest remaining
+    /// flow; idle every RB beyond that flow's bytes. The most literal
+    /// "schedule the shortest flow, ignore everything else".
+    WinnerOnly,
+    /// Serve users in ascending shortest-remaining order, each bounded
+    /// by its shortest flow's bytes, waterfall the leftover RBs to the
+    /// next user (still channel-blind in the order and RB choice).
+    #[default]
+    Waterfall,
+    /// Like [`SrjfMode::Waterfall`] but each served user may drain its
+    /// whole queued backlog before the next user gets RBs.
+    WaterfallBacklog,
+}
+
+/// Channel-blind SRJF (requires the oracle flow-size inputs).
+///
+/// "SRJF schedules flows based on the remaining flow size, being
+/// ignorant of the channel condition … the user will grab all the
+/// bandwidth (with poor spectral efficiency) to finish its flow"
+/// (§3/§6.2). Users are visited in ascending order of their shortest
+/// remaining flow, blindly to channel quality; [`SrjfMode`] picks what
+/// happens with the capacity the head flow does not use.
+#[derive(Debug, Clone, Default)]
+pub struct SrjfScheduler {
+    /// Leftover-capacity policy.
+    pub mode: SrjfMode,
+}
+
+impl SrjfScheduler {
+    /// Create with an explicit mode.
+    pub fn with_mode(mode: SrjfMode) -> SrjfScheduler {
+        SrjfScheduler { mode }
+    }
+}
+
+impl Scheduler for SrjfScheduler {
+    fn allocate(&mut self, _now: Time, ues: &[UeTti], rates: &dyn RateSource) -> Allocation {
+        let n_rbs = rates.n_rbs();
+        let mut alloc = Allocation::empty(n_rbs, ues.len());
+        let mut order: Vec<usize> = ues
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.active)
+            .map(|(i, _)| i)
+            .collect();
+        order.sort_by_key(|&i| ues[i].oracle_min_remaining.unwrap_or(u64::MAX));
+        let mut rb: u16 = 0;
+        for u in order {
+            let ue = &ues[u];
+            let need = match self.mode {
+                SrjfMode::WinnerOnly | SrjfMode::Waterfall => ue
+                    .queued_bytes
+                    .min(ue.oracle_min_remaining.unwrap_or(u64::MAX))
+                    .max(1),
+                SrjfMode::WaterfallBacklog => ue.queued_bytes.max(1),
+            };
+            let need_bits = (need.saturating_mul(8)) as f64 + 256.0;
+            let mut granted = 0.0;
+            while rb < n_rbs && granted < need_bits {
+                let r = rates.rate(u, rb);
+                if r <= 0.0 {
+                    break; // channel-blind: give up on this user's RBs
+                }
+                alloc.assign(rb, u as u16, r);
+                granted += r;
+                rb += 1;
+            }
+            if rb >= n_rbs || self.mode == SrjfMode::WinnerOnly {
+                break;
+            }
+        }
+        alloc
+    }
+
+    fn on_served(&mut self, _served_bits: &[f64]) {}
+
+    fn name(&self) -> &'static str {
+        "SRJF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FlatRates;
+
+    fn ue(active: bool, remaining: Option<u64>) -> UeTti {
+        UeTti {
+            active,
+            oracle_min_remaining: remaining,
+            queued_bytes: remaining.unwrap_or(0),
+            ..UeTti::idle()
+        }
+    }
+
+    #[test]
+    fn shortest_remaining_takes_everything() {
+        let mut s = SrjfScheduler::default();
+        let rates = FlatRates {
+            per_ue: vec![1000.0, 10.0, 100.0],
+            rbs: 8,
+        };
+        let ues = vec![
+            ue(true, Some(50_000)),
+            ue(true, Some(100)), // shortest, worst channel
+            ue(true, Some(5_000)),
+        ];
+        let a = s.allocate(Time::ZERO, &ues, &rates);
+        assert!(a.rb_to_ue.iter().all(|&x| x == Some(1)));
+        // Grabs all bandwidth at poor spectral efficiency: 8 RBs × 10 bits.
+        assert_eq!(a.total_bits(), 80.0);
+    }
+
+    #[test]
+    fn skips_inactive() {
+        let mut s = SrjfScheduler::default();
+        let rates = FlatRates {
+            per_ue: vec![10.0, 10.0],
+            rbs: 2,
+        };
+        let ues = vec![ue(false, Some(1)), ue(true, Some(100))];
+        let a = s.allocate(Time::ZERO, &ues, &rates);
+        assert!(a.rb_to_ue.iter().all(|&x| x == Some(1)));
+    }
+
+    #[test]
+    fn empty_cell_idles() {
+        let mut s = SrjfScheduler::default();
+        let rates = FlatRates {
+            per_ue: vec![10.0],
+            rbs: 2,
+        };
+        let a = s.allocate(Time::ZERO, &[ue(false, None)], &rates);
+        assert_eq!(a.rbs_used(), 0);
+    }
+
+    #[test]
+    fn winner_only_idles_leftover_rbs() {
+        let mut s = SrjfScheduler::with_mode(SrjfMode::WinnerOnly);
+        let rates = FlatRates {
+            per_ue: vec![1000.0, 1000.0],
+            rbs: 50,
+        };
+        // Winner's flow needs ~2 RBs; the rest must idle even though
+        // UE 1 is backlogged.
+        let ues = vec![ue(true, Some(200)), ue(true, Some(100_000))];
+        let a = s.allocate(Time::ZERO, &ues, &rates);
+        assert!(a.rbs_used() < 5, "rbs_used={}", a.rbs_used());
+        assert!(a.rb_to_ue.iter().flatten().all(|&u| u == 0));
+    }
+
+    #[test]
+    fn waterfall_fills_the_tti() {
+        let mut s = SrjfScheduler::with_mode(SrjfMode::Waterfall);
+        let rates = FlatRates {
+            per_ue: vec![1000.0, 1000.0],
+            rbs: 50,
+        };
+        let mut short = ue(true, Some(200));
+        short.queued_bytes = 200;
+        let mut long = ue(true, Some(100_000));
+        long.queued_bytes = 100_000;
+        let a = s.allocate(Time::ZERO, &[short, long], &rates);
+        assert_eq!(a.rbs_used(), 50, "leftover RBs must waterfall");
+        // The short-flow UE still goes first.
+        assert_eq!(a.rb_to_ue[0], Some(0));
+        assert!(a.rb_to_ue.iter().any(|&x| x == Some(1)));
+    }
+
+    #[test]
+    fn waterfall_backlog_lets_head_drain_queue() {
+        let mut s = SrjfScheduler::with_mode(SrjfMode::WaterfallBacklog);
+        let rates = FlatRates {
+            per_ue: vec![100.0, 100.0],
+            rbs: 10,
+        };
+        // Head UE's backlog (10 KB = 800 bits×100...) exceeds the TTI:
+        // it takes everything despite its shortest flow being tiny.
+        let mut head = ue(true, Some(100));
+        head.queued_bytes = 10_000;
+        let tail = ue(true, Some(200));
+        let a = s.allocate(Time::ZERO, &[head, tail], &rates);
+        assert!(a.rb_to_ue.iter().all(|&x| x == Some(0)));
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared scheduler interfaces.
+
+use outran_pdcp::Priority;
+use outran_simcore::{Dur, Time};
+
+/// What the MAC knows about one UE at the start of a TTI.
+#[derive(Debug, Clone, Copy)]
+pub struct UeTti {
+    /// Whether the UE has anything to send (RLC buffer status).
+    pub active: bool,
+    /// Highest-priority non-empty MLFQ level — the user priority of
+    /// eq. (2) carried in OutRAN's extended BSR. `None` when the Tx queue
+    /// is empty (ctrl/retx-only UEs report `None`).
+    pub head_priority: Option<Priority>,
+    /// Total queued bytes (for diagnostics and RR short-circuits).
+    pub queued_bytes: u64,
+    /// Oracle knowledge: the smallest remaining flow size queued for this
+    /// UE, in bytes. Only the SRJF/PSS/CQA baselines may read this — the
+    /// paper grants them perfect flow information (§6.2 Baselines).
+    pub oracle_min_remaining: Option<u64>,
+    /// Head-of-line sojourn time of the oldest queued SDU.
+    pub hol_delay: Dur,
+    /// Oracle knowledge: whether a QoS-tagged (short, delay-budget) flow
+    /// is queued for this UE.
+    pub oracle_has_qos_flow: bool,
+}
+
+impl UeTti {
+    /// An inactive UE.
+    pub fn idle() -> UeTti {
+        UeTti {
+            active: false,
+            head_priority: None,
+            queued_bytes: 0,
+            oracle_min_remaining: None,
+            hol_delay: Dur::ZERO,
+            oracle_has_qos_flow: false,
+        }
+    }
+}
+
+/// Source of per-(UE, RB) achievable rates — implemented by the PHY
+/// channel. Rates are in **bits per RB per TTI** (the `r_{u,b}(t)` of
+/// eq. (1) integrated over one scheduling interval).
+pub trait RateSource {
+    /// Achievable bits for `ue` on `rb` this TTI (reported CQI).
+    fn rate(&self, ue: usize, rb: u16) -> f64;
+    /// Number of RBs.
+    fn n_rbs(&self) -> u16;
+    /// Number of UEs.
+    fn n_ues(&self) -> usize;
+}
+
+/// A trivially uniform [`RateSource`] for unit tests.
+#[derive(Debug, Clone)]
+pub struct FlatRates {
+    /// Per-UE flat rate applied to every RB.
+    pub per_ue: Vec<f64>,
+    /// RB count.
+    pub rbs: u16,
+}
+
+impl RateSource for FlatRates {
+    fn rate(&self, ue: usize, _rb: u16) -> f64 {
+        self.per_ue[ue]
+    }
+    fn n_rbs(&self) -> u16 {
+        self.rbs
+    }
+    fn n_ues(&self) -> usize {
+        self.per_ue.len()
+    }
+}
+
+/// The outcome of one TTI's RB allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// For each RB, the UE it was assigned to (None = idle RB).
+    pub rb_to_ue: Vec<Option<u16>>,
+    /// Granted bits per UE this TTI (sum of assigned RB rates).
+    pub bits_per_ue: Vec<f64>,
+}
+
+impl Allocation {
+    /// An empty allocation for `n_rbs` RBs and `n_ues` UEs.
+    pub fn empty(n_rbs: u16, n_ues: usize) -> Allocation {
+        Allocation {
+            rb_to_ue: vec![None; n_rbs as usize],
+            bits_per_ue: vec![0.0; n_ues],
+        }
+    }
+
+    /// Assign `rb` to `ue` at `bits` per this RB.
+    pub fn assign(&mut self, rb: u16, ue: u16, bits: f64) {
+        debug_assert!(self.rb_to_ue[rb as usize].is_none(), "RB double-assigned");
+        self.rb_to_ue[rb as usize] = Some(ue);
+        self.bits_per_ue[ue as usize] += bits;
+    }
+
+    /// Number of RBs assigned.
+    pub fn rbs_used(&self) -> usize {
+        self.rb_to_ue.iter().filter(|x| x.is_some()).count()
+    }
+
+    /// Total bits granted across UEs.
+    pub fn total_bits(&self) -> f64 {
+        self.bits_per_ue.iter().sum()
+    }
+}
+
+/// A downlink MAC scheduler. Called once per TTI.
+pub trait Scheduler {
+    /// Compute the RB allocation for this TTI.
+    ///
+    /// `ues[i]` describes UE `i`; `rates` provides `r_{u,b}(t)`.
+    fn allocate(&mut self, now: Time, ues: &[UeTti], rates: &dyn RateSource) -> Allocation;
+
+    /// Feed back the bits actually served to each UE this TTI (PF-family
+    /// schedulers update their long-term average `r̃_u` from this; others
+    /// may ignore it). Must be called exactly once per TTI after
+    /// transmission.
+    fn on_served(&mut self, served_bits: &[f64]);
+
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_bookkeeping() {
+        let mut a = Allocation::empty(4, 2);
+        a.assign(0, 1, 100.0);
+        a.assign(3, 0, 50.0);
+        assert_eq!(a.rbs_used(), 2);
+        assert_eq!(a.bits_per_ue, vec![50.0, 100.0]);
+        assert_eq!(a.total_bits(), 150.0);
+        assert_eq!(a.rb_to_ue, vec![Some(1), None, None, Some(0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_assign_caught() {
+        let mut a = Allocation::empty(2, 1);
+        a.assign(0, 0, 1.0);
+        a.assign(0, 0, 1.0);
+    }
+
+    #[test]
+    fn flat_rates_source() {
+        let r = FlatRates {
+            per_ue: vec![10.0, 20.0],
+            rbs: 5,
+        };
+        assert_eq!(r.rate(1, 4), 20.0);
+        assert_eq!(r.n_rbs(), 5);
+        assert_eq!(r.n_ues(), 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! Per-flow state and MLFQ priority marking.
+//!
+//! §4.2: "When a packet arrives at each user's buffer, our scheduler
+//! identifies the flow based on the five tuple … and updates the
+//! sent-bytes so far (or create a new entry if it is a new one). Next,
+//! using the sent-byte information, it enforces the MLFQ scheduling for
+//! each flow":
+//!
+//! * a new incoming flow starts from P1 (highest priority);
+//! * a flow is demoted from Pᵢ to Pᵢ₊₁ when its sent-bytes cross αᵢ;
+//! * beyond the last threshold all flows share the base priority PK, so
+//!   long flows cannot be starved below it.
+//!
+//! Appendix B: the state lives at the PDCP layer as a five-tuple-keyed
+//! hash table; §7 sizes it at 41 bytes per flow (37 key + 4 counter).
+//! §6.3 adds "Priority Boost": resetting all flow states every period S.
+
+use std::collections::HashMap;
+
+use outran_simcore::{Dur, Time};
+
+use crate::packet::FiveTuple;
+
+/// MLFQ priority level. **Lower is higher priority**: `Priority(0)` is the
+/// paper's P1, `Priority(K-1)` the base priority PK.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// The topmost (P1) priority.
+    pub const TOP: Priority = Priority(0);
+}
+
+/// MLFQ configuration: `K = thresholds.len() + 1` queues.
+///
+/// The thresholds are the demotion boundaries `α_1 < α_2 < … < α_{K−1}` in
+/// cumulative sent bytes. See `outran-core::thresholds` for the PIAS-style
+/// optimizer that picks them from a flow-size distribution; the defaults
+/// here are the ones our optimizer produces for the LTE cellular
+/// distribution with K = 4 (the paper observed performance is steady for
+/// K > 4, §4.2 "Parameter choice").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlfqConfig {
+    /// Demotion thresholds in bytes, strictly increasing.
+    pub thresholds: Vec<u64>,
+}
+
+impl Default for MlfqConfig {
+    fn default() -> Self {
+        MlfqConfig {
+            // ~10 KB / 100 KB / 1 MB: knees of the heavy-tailed LTE
+            // cellular distribution (90 % of flows < 35.9 KB finish in the
+            // top two queues).
+            thresholds: vec![10_000, 100_000, 1_000_000],
+        }
+    }
+}
+
+impl MlfqConfig {
+    /// Create from explicit thresholds (validated strictly increasing).
+    pub fn new(thresholds: Vec<u64>) -> MlfqConfig {
+        assert!(!thresholds.is_empty(), "need at least one threshold");
+        for w in thresholds.windows(2) {
+            assert!(w[0] < w[1], "thresholds must strictly increase: {w:?}");
+        }
+        MlfqConfig { thresholds }
+    }
+
+    /// Number of priority queues K.
+    pub fn num_queues(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    /// Priority for a flow that has sent `sent_bytes` so far.
+    pub fn priority_for(&self, sent_bytes: u64) -> Priority {
+        let demotions = self
+            .thresholds
+            .iter()
+            .take_while(|&&a| sent_bytes >= a)
+            .count();
+        Priority(demotions as u8)
+    }
+
+    /// The lowest (base) priority PK.
+    pub fn base_priority(&self) -> Priority {
+        Priority(self.thresholds.len() as u8)
+    }
+}
+
+/// State kept for one flow.
+#[derive(Debug, Clone)]
+pub struct FlowState {
+    /// Cumulative bytes observed for this flow (since last reset).
+    pub sent_bytes: u64,
+    /// When the flow entry was created.
+    pub first_seen: Time,
+    /// Last packet observed.
+    pub last_seen: Time,
+}
+
+/// The PDCP flow table of one bearer/UE: five-tuple → sent-bytes.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    mlfq: MlfqConfig,
+    flows: HashMap<FiveTuple, FlowState>,
+    /// Idle entries older than this are evicted on [`FlowTable::gc`].
+    idle_timeout: Dur,
+}
+
+impl FlowTable {
+    /// Per-flow state footprint in bytes (§7: 41 B = 37 B key + 4 B counter).
+    pub const STATE_BYTES_PER_FLOW: usize = FiveTuple::STATE_BYTES + 4;
+
+    /// Create a table with the given MLFQ config.
+    pub fn new(mlfq: MlfqConfig) -> FlowTable {
+        FlowTable {
+            mlfq,
+            flows: HashMap::new(),
+            idle_timeout: Dur::from_secs(30),
+        }
+    }
+
+    /// The MLFQ configuration in force.
+    pub fn mlfq(&self) -> &MlfqConfig {
+        &self.mlfq
+    }
+
+    /// Observe an ingress packet of `len` bytes for `tuple` at `now`.
+    /// Updates sent-bytes and returns the MLFQ priority to mark the packet
+    /// with (the priority *before* this packet's bytes are counted, so the
+    /// first packet of a flow is always P1 — matching PIAS/strict-MLFQ
+    /// semantics where the packet inherits the queue its flow sits in).
+    pub fn observe(&mut self, tuple: FiveTuple, len: u32, now: Time) -> Priority {
+        let entry = self.flows.entry(tuple).or_insert(FlowState {
+            sent_bytes: 0,
+            first_seen: now,
+            last_seen: now,
+        });
+        let prio = self.mlfq.priority_for(entry.sent_bytes);
+        entry.sent_bytes += len as u64;
+        entry.last_seen = now;
+        prio
+    }
+
+    /// Current priority of a flow without observing a packet.
+    pub fn priority_of(&self, tuple: &FiveTuple) -> Priority {
+        self.flows
+            .get(tuple)
+            .map_or(Priority::TOP, |st| self.mlfq.priority_for(st.sent_bytes))
+    }
+
+    /// Cumulative sent-bytes of a flow (0 if unknown).
+    pub fn sent_bytes(&self, tuple: &FiveTuple) -> u64 {
+        self.flows.get(tuple).map_or(0, |st| st.sent_bytes)
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Estimated state memory (the §7 accounting).
+    pub fn state_bytes(&self) -> usize {
+        self.flows.len() * Self::STATE_BYTES_PER_FLOW
+    }
+
+    /// "Priority Boost" (§6.3): reset every flow's sent-bytes so all flows
+    /// return to the topmost queue.
+    pub fn reset_priorities(&mut self) {
+        for st in self.flows.values_mut() {
+            st.sent_bytes = 0;
+        }
+    }
+
+    /// Evict entries idle for longer than the timeout. Returns how many
+    /// entries were removed.
+    pub fn gc(&mut self, now: Time) -> usize {
+        let timeout = self.idle_timeout;
+        let before = self.flows.len();
+        self.flows
+            .retain(|_, st| now.saturating_since(st.last_seen) < timeout);
+        before - self.flows.len()
+    }
+
+    /// Change the idle-eviction timeout.
+    pub fn set_idle_timeout(&mut self, timeout: Dur) {
+        self.idle_timeout = timeout;
+    }
+
+    /// Export all per-flow state — the §7 handover path ("the flow state
+    /// of a user can also be copied along with the data").
+    pub fn export(&self) -> Vec<(FiveTuple, u64)> {
+        self.flows
+            .iter()
+            .map(|(t, st)| (*t, st.sent_bytes))
+            .collect()
+    }
+
+    /// Import state exported from a source cell at handover.
+    pub fn import(&mut self, entries: &[(FiveTuple, u64)], now: Time) {
+        for &(tuple, sent) in entries {
+            self.flows.insert(
+                tuple,
+                FlowState {
+                    sent_bytes: sent,
+                    first_seen: now,
+                    last_seen: now,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(n: u16) -> FiveTuple {
+        FiveTuple::simulated(n as u64, 0)
+    }
+
+    #[test]
+    fn new_flow_starts_at_p1() {
+        let mut ft = FlowTable::new(MlfqConfig::default());
+        assert_eq!(ft.observe(tuple(1), 1500, Time::ZERO), Priority::TOP);
+    }
+
+    #[test]
+    fn demotion_on_threshold_crossing() {
+        let mlfq = MlfqConfig::new(vec![10_000, 100_000]);
+        let mut ft = FlowTable::new(mlfq);
+        let t = tuple(1);
+        let mut prio = Priority::TOP;
+        let mut sent = 0u64;
+        // Send 200 KB in MTU packets; the marked priority must demote at
+        // (not before) each threshold and never promote.
+        while sent < 200_000 {
+            let p = ft.observe(t, 1500, Time::ZERO);
+            assert!(p >= prio, "priority must be monotone non-increasing");
+            let expected = if sent >= 100_000 {
+                Priority(2)
+            } else if sent >= 10_000 {
+                Priority(1)
+            } else {
+                Priority(0)
+            };
+            assert_eq!(p, expected, "at sent={sent}");
+            prio = p;
+            sent += 1500;
+        }
+    }
+
+    #[test]
+    fn base_priority_is_floor() {
+        let mlfq = MlfqConfig::default();
+        assert_eq!(mlfq.priority_for(u64::MAX), mlfq.base_priority());
+        assert_eq!(mlfq.num_queues(), 4);
+    }
+
+    #[test]
+    fn distinct_flows_tracked_separately() {
+        let mut ft = FlowTable::new(MlfqConfig::default());
+        ft.observe(tuple(1), 50_000, Time::ZERO);
+        assert_eq!(ft.priority_of(&tuple(1)), Priority(1));
+        assert_eq!(ft.priority_of(&tuple(2)), Priority::TOP);
+        assert_eq!(ft.len(), 1);
+        ft.observe(tuple(2), 100, Time::ZERO);
+        assert_eq!(ft.len(), 2);
+    }
+
+    #[test]
+    fn reset_restores_top_priority() {
+        let mut ft = FlowTable::new(MlfqConfig::default());
+        ft.observe(tuple(1), 5_000_000, Time::ZERO);
+        assert_eq!(ft.priority_of(&tuple(1)), Priority(3));
+        ft.reset_priorities();
+        assert_eq!(ft.priority_of(&tuple(1)), Priority::TOP);
+        // State entry still exists (it's a reset, not an eviction).
+        assert_eq!(ft.len(), 1);
+    }
+
+    #[test]
+    fn gc_evicts_idle_flows() {
+        let mut ft = FlowTable::new(MlfqConfig::default());
+        ft.set_idle_timeout(Dur::from_secs(1));
+        ft.observe(tuple(1), 100, Time::ZERO);
+        ft.observe(tuple(2), 100, Time::from_secs(5));
+        let evicted = ft.gc(Time::from_secs(5));
+        assert_eq!(evicted, 1);
+        assert_eq!(ft.len(), 1);
+        assert_eq!(ft.sent_bytes(&tuple(2)), 100);
+    }
+
+    #[test]
+    fn state_accounting_matches_paper() {
+        assert_eq!(FlowTable::STATE_BYTES_PER_FLOW, 41);
+        let mut ft = FlowTable::new(MlfqConfig::default());
+        for i in 0..100 {
+            ft.observe(tuple(i), 100, Time::ZERO);
+        }
+        assert_eq!(ft.state_bytes(), 4100);
+    }
+
+    #[test]
+    fn handover_export_import_roundtrip() {
+        let mut src = FlowTable::new(MlfqConfig::default());
+        src.observe(tuple(1), 50_000, Time::ZERO);
+        src.observe(tuple(2), 100, Time::ZERO);
+        let mut dst = FlowTable::new(MlfqConfig::default());
+        dst.import(&src.export(), Time::from_secs(1));
+        assert_eq!(dst.sent_bytes(&tuple(1)), 50_000);
+        assert_eq!(dst.priority_of(&tuple(1)), Priority(1));
+        assert_eq!(dst.priority_of(&tuple(2)), Priority::TOP);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsorted_thresholds() {
+        let _ = MlfqConfig::new(vec![100, 100]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # outran-pdcp
+//!
+//! The Packet Data Convergence Protocol layer of the xNodeB user plane,
+//! extended with OutRAN's flow machinery (paper §4.2 and §4.4, Appendix B
+//! implementation notes).
+//!
+//! Responsibilities reproduced from srsENB's PDCP plus the OutRAN patch:
+//!
+//! * **Header inspection** ([`packet`]) — parse the five-tuple of each
+//!   ingress IP packet *before* header compression.
+//! * **Per-flow state** ([`flow_table`]) — a hash table keyed by
+//!   five-tuple holding `sent-bytes` so far (the 41-byte state of §7),
+//!   from which the MLFQ priority of the flow is derived.
+//! * **MLFQ marking** ([`flow_table::FlowTable::observe`]) — a new flow
+//!   starts at priority P1 and is demoted each time its cumulative bytes
+//!   cross a threshold α_i; "Priority Boost" resets (§6.3).
+//! * **SN numbering & ciphering** ([`sn`]) — the PDCP COUNT/SN machinery.
+//!   Legacy PDCP numbers and ciphers at ingress; OutRAN *delays* both to
+//!   RLC-dequeue time so that scheduler-induced reordering cannot desync
+//!   the UE's deciphering COUNT (§4.4 "Sequence numbering").
+
+//!
+//! # Example
+//!
+//! ```
+//! use outran_pdcp::{FlowTable, MlfqConfig, FiveTuple, Priority};
+//! use outran_simcore::Time;
+//!
+//! let mut table = FlowTable::new(MlfqConfig::new(vec![10_000, 100_000]));
+//! let flow = FiveTuple::simulated(1, 0);
+//! // A fresh flow starts at the top priority...
+//! assert_eq!(table.observe(flow, 1_500, Time::ZERO), Priority::TOP);
+//! // ...and demotes once its sent-bytes cross the first threshold.
+//! for _ in 0..7 { table.observe(flow, 1_500, Time::ZERO); }
+//! assert_eq!(table.priority_of(&flow), Priority(1));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow_table;
+pub mod packet;
+pub mod sn;
+
+pub use flow_table::{FlowTable, MlfqConfig, Priority};
+pub use packet::{FiveTuple, IpPacket};
+pub use sn::{CipherStream, PdcpRx, PdcpTx, SnMode};

@@ -1,0 +1,106 @@
+//! Block error rate (BLER) truth model.
+//!
+//! Link adaptation targets ≈10 % initial BLER: the UE reports the highest
+//! CQI it can sustain at that error rate, the eNodeB transmits at the
+//! matching MCS, and errors occur when the channel has moved since the
+//! report. We model the transport-block error probability as a logistic
+//! function of the gap between the *actual* SINR at transmission time and
+//! the SINR the chosen MCS requires:
+//!
+//! ```text
+//! p_err(gap) = 1 / (1 + exp(slope · (gap − offset)))
+//! ```
+//!
+//! calibrated so that `gap = 0` (channel exactly as reported) gives the
+//! 10 % target, a 3 dB surplus is practically error-free and a 3 dB
+//! deficit almost certainly fails — the familiar steep LTE BLER waterfall.
+
+use crate::cqi::{Cqi, CqiTable};
+
+/// Logistic BLER waterfall.
+#[derive(Debug, Clone, Copy)]
+pub struct BlerModel {
+    /// Steepness of the waterfall in 1/dB (typical LTE curves: 2–5 /dB).
+    pub slope: f64,
+    /// SINR surplus (dB) at which BLER crosses 50 %.
+    /// With the 10 % target at gap 0: offset = ln(9)/slope below 0.
+    pub offset_db: f64,
+}
+
+impl Default for BlerModel {
+    fn default() -> Self {
+        let slope = 3.0;
+        BlerModel {
+            slope,
+            // ln(9)/3 ≈ 0.732 → p_err(0 dB) = 0.10.
+            offset_db: -(9.0f64.ln()) / slope,
+        }
+    }
+}
+
+impl BlerModel {
+    /// Error probability for a transmission at MCS chosen for
+    /// `assigned_cqi` while the channel actually provides `actual_sinr_db`.
+    pub fn error_prob(&self, table: CqiTable, assigned_cqi: Cqi, actual_sinr_db: f64) -> f64 {
+        if !assigned_cqi.usable() {
+            return 1.0;
+        }
+        let required = table.required_sinr_db(assigned_cqi);
+        let gap = actual_sinr_db - required;
+        1.0 / (1.0 + (self.slope * (gap - self.offset_db)).exp())
+    }
+
+    /// A perfect-channel model: never errs (used to isolate scheduling
+    /// effects from HARQ effects in unit experiments).
+    pub fn ideal() -> BlerModel {
+        BlerModel {
+            slope: 100.0,
+            offset_db: -100.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_percent_at_zero_gap() {
+        let m = BlerModel::default();
+        let t = CqiTable::Qam64;
+        for c in 1..=15u8 {
+            let req = t.required_sinr_db(Cqi(c));
+            let p = m.error_prob(t, Cqi(c), req);
+            assert!((p - 0.10).abs() < 1e-6, "cqi {c}: p={p}");
+        }
+    }
+
+    #[test]
+    fn waterfall_shape() {
+        let m = BlerModel::default();
+        let t = CqiTable::Qam64;
+        let req = t.required_sinr_db(Cqi(7));
+        assert!(m.error_prob(t, Cqi(7), req + 3.0) < 0.01);
+        assert!(m.error_prob(t, Cqi(7), req - 3.0) > 0.9);
+        // Monotone decreasing in SINR.
+        let mut prev = 1.1;
+        for s in -10..30 {
+            let p = m.error_prob(t, Cqi(7), s as f64);
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn unusable_cqi_always_errs() {
+        let m = BlerModel::default();
+        assert_eq!(m.error_prob(CqiTable::Qam64, Cqi(0), 30.0), 1.0);
+    }
+
+    #[test]
+    fn ideal_model_never_errs() {
+        let m = BlerModel::ideal();
+        let t = CqiTable::Qam256;
+        assert!(m.error_prob(t, Cqi(15), t.required_sinr_db(Cqi(15)) - 2.0) < 1e-6);
+    }
+}

@@ -1,0 +1,505 @@
+//! The composed per-cell channel model.
+//!
+//! [`CellChannel`] owns one [`UeChannelState`] per attached UE and exposes
+//! exactly the interface a MAC scheduler consumes:
+//!
+//! * `reported_rate_per_rb(ue, rb)` — the achievable rate `r_{u,b}(t)` of
+//!   eq. (1), derived from the **reported** (periodic, possibly stale) CQI;
+//! * `actual_sinr_db(ue, rb)` — ground truth at transmission time, feeding
+//!   the BLER model for link-layer losses;
+//! * `advance_tti()` — evolves fading/mobility/shadowing and refreshes CQI
+//!   reports on their period.
+//!
+//! SINR composition (all in dB):
+//!
+//! ```text
+//! SINR = tx_power − pathloss(d) − noise(+NF) + shadowing + fading·scale
+//! ```
+//!
+//! with log-distance path loss, AR(1) log-normal shadowing decorrelating
+//! over distance, and the Rayleigh subband fading of [`crate::fading`].
+//! `fading·scale` lets scenarios dial channel volatility: the paper's LTE
+//! traces are volatile (SRJF collapses, §6.2) while its 5G-LENA traces are
+//! "more stable and steady" (SRJF ideal, Appendix B) — we reproduce both
+//! regimes with the same machinery.
+
+use outran_simcore::{Dur, Normal, Rng, Time};
+
+use crate::bler::BlerModel;
+use crate::cqi::{Cqi, CqiTable};
+use crate::fading::FadingProcess;
+use crate::mobility::RandomWalk;
+use crate::numerology::RadioConfig;
+use crate::UeId;
+
+/// Static configuration of the cell channel.
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelConfig {
+    /// Frame/bandwidth configuration.
+    pub radio: RadioConfig,
+    /// MCS table in use.
+    pub table: CqiTable,
+    /// Number of frequency subbands with independent fading.
+    pub n_subbands: usize,
+    /// Downlink carrier frequency (Hz) — sets the Doppler spread.
+    pub carrier_hz: f64,
+    /// Transmit power per RB (dBm).
+    pub tx_power_dbm: f64,
+    /// UE receiver noise figure (dB).
+    pub noise_figure_db: f64,
+    /// Log-distance path-loss exponent.
+    pub pathloss_exp: f64,
+    /// Path loss at the 1 m reference distance (dB).
+    pub pathloss_ref_db: f64,
+    /// Log-normal shadowing standard deviation (dB).
+    pub shadowing_sd_db: f64,
+    /// Shadowing decorrelation distance (m).
+    pub shadowing_corr_m: f64,
+    /// Fading amplitude scale: 1.0 = full Rayleigh, 0.0 = AWGN-like.
+    pub fading_scale: f64,
+    /// Mixing weight of flat (wideband) fading vs per-subband fading.
+    pub flatness: f64,
+    /// Cell radius (m) and minimum UE distance (m).
+    pub radius_m: f64,
+    /// Minimum UE distance from the antenna (m).
+    pub min_radius_m: f64,
+    /// UE speed (m/s); 0 = static.
+    pub ue_speed_mps: f64,
+    /// CQI reporting period, in TTIs.
+    pub cqi_period_ttis: u32,
+    /// Age of the report when the scheduler uses it, in TTIs.
+    pub cqi_delay_ttis: u32,
+    /// SINR ceiling (dB) modelling interference/EVM floors.
+    pub sinr_cap_db: f64,
+    /// BLER truth model.
+    pub bler: BlerModel,
+    /// Mobility update period.
+    pub mobility_step: Dur,
+}
+
+impl ChannelConfig {
+    /// Sensible LTE macro-cell defaults (pedestrian scenario, §3/§6.2).
+    pub fn lte_default() -> ChannelConfig {
+        ChannelConfig {
+            radio: RadioConfig::lte20(),
+            table: CqiTable::Qam256,
+            n_subbands: 8,
+            carrier_hz: 1.805e9, // Band 3 DL as in the NS-3 LTE setting
+            tx_power_dbm: 23.0,
+            noise_figure_db: 7.0,
+            // Calibrated so the mean-SINR spread across the 10–200 m cell
+            // matches Fig 2b (≈2–45 dB, Medium/Good/Excellent, no UE in
+            // outage).
+            pathloss_exp: 3.5,
+            pathloss_ref_db: 46.0,
+            shadowing_sd_db: 4.0,
+            shadowing_corr_m: 37.0,
+            fading_scale: 1.0,
+            flatness: 0.3,
+            radius_m: 200.0,
+            min_radius_m: 10.0,
+            ue_speed_mps: 1.4,
+            cqi_period_ttis: 5,
+            cqi_delay_ttis: 2,
+            sinr_cap_db: 45.0,
+            bler: BlerModel::default(),
+            mobility_step: Dur::from_millis(100),
+        }
+    }
+
+    /// Thermal noise power over one RB bandwidth, plus noise figure (dBm).
+    pub fn noise_dbm(&self) -> f64 {
+        let bw_hz = self.radio.numerology.subchannel_khz() as f64 * 1e3;
+        -174.0 + 10.0 * bw_hz.log10() + self.noise_figure_db
+    }
+
+    /// Maximum Doppler shift for the configured speed/carrier (Hz).
+    pub fn doppler_hz(&self) -> f64 {
+        self.ue_speed_mps * self.carrier_hz / 299_792_458.0
+    }
+}
+
+/// Per-UE dynamic channel state.
+#[derive(Debug, Clone)]
+pub struct UeChannelState {
+    walker: RandomWalk,
+    fading: FadingProcess,
+    shadow_db: f64,
+    /// Reported CQI per subband (what the scheduler sees).
+    reported: Vec<Cqi>,
+    /// Pending report (measured, not yet delivered — models report delay).
+    pending: Vec<Cqi>,
+    pending_due: Time,
+    next_report_at: Time,
+    rng: Rng,
+}
+
+/// The full cell channel: configuration + per-UE states.
+#[derive(Debug, Clone)]
+pub struct CellChannel {
+    cfg: ChannelConfig,
+    ues: Vec<UeChannelState>,
+    rbs_per_subband: u16,
+    tti_index: u64,
+    dist_since_shadow: Vec<f64>,
+}
+
+impl CellChannel {
+    /// Create a channel with `n_ues` UEs placed per the config.
+    pub fn new(cfg: ChannelConfig, n_ues: usize, root_rng: &Rng) -> CellChannel {
+        let n_rbs = cfg.radio.num_rbs();
+        let n_subbands = cfg.n_subbands.min(n_rbs as usize).max(1);
+        let rbs_per_subband = n_rbs.div_ceil(n_subbands as u16);
+        let ues = (0..n_ues)
+            .map(|i| {
+                let mut rng = root_rng.fork(0x9999_0000 + i as u64);
+                let walker = RandomWalk::new(
+                    cfg.radius_m,
+                    cfg.min_radius_m,
+                    cfg.ue_speed_mps,
+                    rng.fork(1),
+                );
+                let fading = FadingProcess::new(
+                    n_subbands,
+                    cfg.doppler_hz(),
+                    cfg.radio.tti(),
+                    cfg.flatness,
+                    rng.fork(2),
+                );
+                let shadow_db = Normal::new(0.0, cfg.shadowing_sd_db).sample(&mut rng);
+                UeChannelState {
+                    walker,
+                    fading,
+                    shadow_db,
+                    reported: vec![Cqi(0); n_subbands],
+                    pending: vec![Cqi(0); n_subbands],
+                    pending_due: Time::ZERO,
+                    next_report_at: Time::ZERO,
+                    rng,
+                }
+            })
+            .collect::<Vec<_>>();
+        let mut ch = CellChannel {
+            cfg,
+            ues,
+            rbs_per_subband,
+            tti_index: 0,
+            dist_since_shadow: vec![0.0; n_ues],
+        };
+        // Prime reports so the first TTI already has usable CQI.
+        for u in 0..n_ues {
+            let measured = ch.measure_cqi(u);
+            ch.ues[u].reported = measured.clone();
+            ch.ues[u].pending = measured;
+        }
+        ch
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Number of attached UEs.
+    pub fn n_ues(&self) -> usize {
+        self.ues.len()
+    }
+
+    /// Number of RBs in the bandwidth.
+    pub fn n_rbs(&self) -> u16 {
+        self.cfg.radio.num_rbs()
+    }
+
+    /// Subband index carrying resource block `rb`.
+    pub fn subband_of_rb(&self, rb: u16) -> usize {
+        ((rb / self.rbs_per_subband) as usize).min(self.cfg.n_subbands - 1)
+    }
+
+    fn pathloss_db(&self, dist_m: f64) -> f64 {
+        let d = dist_m.max(1.0);
+        self.cfg.pathloss_ref_db + 10.0 * self.cfg.pathloss_exp * d.log10()
+    }
+
+    /// Ground-truth SINR (dB) of `ue` on subband `sb` right now.
+    pub fn actual_sinr_db_subband(&self, ue: usize, sb: usize) -> f64 {
+        let st = &self.ues[ue];
+        let pl = self.pathloss_db(st.walker.pos().dist_origin());
+        let fading = st.fading.gain_db(sb) * self.cfg.fading_scale;
+        let sinr = self.cfg.tx_power_dbm - pl - self.cfg.noise_dbm() + st.shadow_db + fading;
+        sinr.min(self.cfg.sinr_cap_db)
+    }
+
+    /// Ground-truth SINR (dB) of `ue` on RB `rb` right now.
+    pub fn actual_sinr_db(&self, ue: usize, rb: u16) -> f64 {
+        self.actual_sinr_db_subband(ue, self.subband_of_rb(rb))
+    }
+
+    /// Mean (distance + shadowing only) SINR of a UE — the Fig 2b quantity.
+    pub fn mean_sinr_db(&self, ue: usize) -> f64 {
+        let st = &self.ues[ue];
+        let pl = self.pathloss_db(st.walker.pos().dist_origin());
+        (self.cfg.tx_power_dbm - pl - self.cfg.noise_dbm() + st.shadow_db)
+            .min(self.cfg.sinr_cap_db)
+    }
+
+    fn measure_cqi(&mut self, ue: usize) -> Vec<Cqi> {
+        (0..self.cfg.n_subbands)
+            .map(|sb| self.cfg.table.sinr_to_cqi(self.actual_sinr_db_subband(ue, sb)))
+            .collect()
+    }
+
+    /// CQI the scheduler currently believes for `ue` on subband `sb`.
+    pub fn reported_cqi_subband(&self, ue: usize, sb: usize) -> Cqi {
+        self.ues[ue].reported[sb]
+    }
+
+    /// CQI the scheduler currently believes for `ue` on RB `rb`.
+    pub fn reported_cqi(&self, ue: usize, rb: u16) -> Cqi {
+        self.reported_cqi_subband(ue, self.subband_of_rb(rb))
+    }
+
+    /// Achievable bits in one RB over one TTI for `ue` on `rb`, per the
+    /// reported CQI — the `r_{u,b}(t)` of eq. (1) expressed in bits/TTI.
+    pub fn reported_rate_per_rb(&self, ue: usize, rb: u16) -> f64 {
+        let cqi = self.reported_cqi(ue, rb);
+        self.cfg.table.efficiency(cqi) * self.cfg.radio.data_re_per_rb()
+    }
+
+    /// Same as [`CellChannel::reported_rate_per_rb`] but per subband
+    /// (cheaper for the scheduler's inner loop).
+    pub fn reported_rate_per_rb_subband(&self, ue: usize, sb: usize) -> f64 {
+        let cqi = self.reported_cqi_subband(ue, sb);
+        self.cfg.table.efficiency(cqi) * self.cfg.radio.data_re_per_rb()
+    }
+
+    /// Draw the success/failure of a transport block sent to `ue` across
+    /// subband `sb` at the MCS implied by the reported CQI.
+    pub fn transmission_succeeds(&mut self, ue: usize, sb: usize) -> bool {
+        self.transmission_succeeds_with_gain(ue, sb, 0.0)
+    }
+
+    /// Like [`CellChannel::transmission_succeeds`], with an extra
+    /// effective-SINR gain in dB (HARQ chase combining).
+    pub fn transmission_succeeds_with_gain(
+        &mut self,
+        ue: usize,
+        sb: usize,
+        gain_db: f64,
+    ) -> bool {
+        let cqi = self.ues[ue].reported[sb];
+        let actual = self.actual_sinr_db_subband(ue, sb) + gain_db;
+        let p_err = self.cfg.bler.error_prob(self.cfg.table, cqi, actual);
+        !self.ues[ue].rng.chance(p_err)
+    }
+
+    /// Advance the channel by one TTI: fading always, mobility/shadowing on
+    /// their period, CQI reporting per the configured period and delay.
+    pub fn advance_tti(&mut self, now: Time) {
+        self.tti_index += 1;
+        let tti = self.cfg.radio.tti();
+        let mobility_every = (self.cfg.mobility_step.as_nanos() / tti.as_nanos()).max(1);
+        let do_mobility = self.tti_index % mobility_every == 0;
+
+        for ue in 0..self.ues.len() {
+            self.ues[ue].fading.advance();
+            if do_mobility {
+                let before = self.ues[ue].walker.pos();
+                self.ues[ue].walker.advance(self.cfg.mobility_step);
+                let after = self.ues[ue].walker.pos();
+                let moved =
+                    ((after.x - before.x).powi(2) + (after.y - before.y).powi(2)).sqrt();
+                self.dist_since_shadow[ue] += moved;
+                // Shadowing evolves once the UE crossed a correlation step.
+                if self.dist_since_shadow[ue] >= self.cfg.shadowing_corr_m / 4.0 {
+                    let rho =
+                        (-self.dist_since_shadow[ue] / self.cfg.shadowing_corr_m).exp();
+                    let innovation = Normal::new(0.0, self.cfg.shadowing_sd_db)
+                        .sample(&mut self.ues[ue].rng);
+                    self.ues[ue].shadow_db =
+                        rho * self.ues[ue].shadow_db + (1.0 - rho * rho).sqrt() * innovation;
+                    self.dist_since_shadow[ue] = 0.0;
+                }
+            }
+            // Deliver a pending report that has aged past the delay.
+            if self.ues[ue].pending_due <= now {
+                self.ues[ue].reported = self.ues[ue].pending.clone();
+            }
+            // Take a new measurement on the reporting period.
+            if self.ues[ue].next_report_at <= now {
+                let measured = self.measure_cqi(ue);
+                let st = &mut self.ues[ue];
+                st.pending = measured;
+                st.pending_due = now + tti.mul(self.cfg.cqi_delay_ttis as u64);
+                st.next_report_at = now + tti.mul(self.cfg.cqi_period_ttis as u64);
+            }
+        }
+    }
+
+    /// Distance of `ue` from the base station (m).
+    pub fn ue_distance(&self, ue: usize) -> f64 {
+        self.ues[ue].walker.pos().dist_origin()
+    }
+}
+
+/// Identifier helper: convert a [`UeId`] to the dense index used here.
+pub fn ue_index(id: UeId) -> usize {
+    id.0 as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_channel() -> CellChannel {
+        let mut cfg = ChannelConfig::lte_default();
+        cfg.n_subbands = 4;
+        CellChannel::new(cfg, 8, &Rng::new(42))
+    }
+
+    #[test]
+    fn sinr_range_matches_fig2b() {
+        // Fig 2b: UE mean SINRs span roughly 0..50 dB with Medium (~10),
+        // Good (~25), Excellent (~40) clusters.
+        let cfg = ChannelConfig::lte_default();
+        let ch = CellChannel::new(cfg, 200, &Rng::new(7));
+        let sinrs: Vec<f64> = (0..200).map(|u| ch.mean_sinr_db(u)).collect();
+        let lo = sinrs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sinrs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo > -10.0 && lo < 15.0, "lo={lo}");
+        assert!(hi > 28.0 && hi <= 45.0, "hi={hi}");
+        // Heterogeneity: at least 10 dB of spread.
+        assert!(hi - lo > 10.0);
+    }
+
+    #[test]
+    fn rates_are_nonnegative_and_bounded() {
+        let ch = small_channel();
+        let peak = ch.config().table.peak_efficiency() * ch.config().radio.data_re_per_rb();
+        for u in 0..8 {
+            for rb in 0..ch.n_rbs() {
+                let r = ch.reported_rate_per_rb(u, rb);
+                assert!(r >= 0.0 && r <= peak + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn subband_mapping_covers_all_rbs() {
+        let ch = small_channel();
+        for rb in 0..ch.n_rbs() {
+            let sb = ch.subband_of_rb(rb);
+            assert!(sb < 4);
+        }
+        assert_eq!(ch.subband_of_rb(0), 0);
+        assert_eq!(ch.subband_of_rb(ch.n_rbs() - 1), 3);
+    }
+
+    #[test]
+    fn advance_changes_fading_state() {
+        let mut ch = small_channel();
+        let before = ch.actual_sinr_db(0, 0);
+        let mut changed = false;
+        let tti = ch.config().radio.tti();
+        let mut now = Time::ZERO;
+        for _ in 0..50 {
+            now += tti;
+            ch.advance_tti(now);
+            if (ch.actual_sinr_db(0, 0) - before).abs() > 0.1 {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "channel should evolve with pedestrian Doppler");
+    }
+
+    #[test]
+    fn cqi_reports_update_on_period() {
+        // Some UE's report must change over a few seconds of pedestrian
+        // fading (UEs pinned at the SINR cap may legitimately stay at 15).
+        let mut ch = small_channel();
+        let snapshot = |ch: &CellChannel| -> Vec<Cqi> {
+            (0..ch.n_ues())
+                .flat_map(|u| (0..4).map(move |sb| (u, sb)))
+                .map(|(u, sb)| ch.reported_cqi_subband(u, sb))
+                .collect()
+        };
+        let initial = snapshot(&ch);
+        let tti = ch.config().radio.tti();
+        let mut now = Time::ZERO;
+        let mut ever_changed = false;
+        for _ in 0..3000 {
+            now += tti;
+            ch.advance_tti(now);
+            if snapshot(&ch) != initial {
+                ever_changed = true;
+                break;
+            }
+        }
+        assert!(ever_changed);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut ch = small_channel();
+            let tti = ch.config().radio.tti();
+            let mut now = Time::ZERO;
+            for _ in 0..200 {
+                now += tti;
+                ch.advance_tti(now);
+            }
+            (0..8)
+                .map(|u| ch.actual_sinr_db(u, 5))
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn static_scenario_keeps_mean_sinr() {
+        let mut cfg = ChannelConfig::lte_default();
+        cfg.ue_speed_mps = 0.0;
+        let mut ch = CellChannel::new(cfg, 4, &Rng::new(9));
+        let before: Vec<f64> = (0..4).map(|u| ch.mean_sinr_db(u)).collect();
+        let tti = ch.config().radio.tti();
+        let mut now = Time::ZERO;
+        for _ in 0..1000 {
+            now += tti;
+            ch.advance_tti(now);
+        }
+        let after: Vec<f64> = (0..4).map(|u| ch.mean_sinr_db(u)).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-9, "static UE mean SINR moved");
+        }
+    }
+
+    #[test]
+    fn transmission_success_rate_tracks_bler_target() {
+        // With a perfectly fresh report the SINR surplus over the chosen
+        // MCS's requirement is in [0, ~2.5 dB), so the error rate sits
+        // somewhere below the 10 % waterfall anchor but stays material.
+        let mut cfg = ChannelConfig::lte_default();
+        cfg.ue_speed_mps = 0.0; // freeze channel => report always accurate
+        cfg.cqi_period_ttis = 1;
+        cfg.cqi_delay_ttis = 0;
+        cfg.sinr_cap_db = 20.0; // keep UEs off the CQI-15 saturation
+        // Average across many UEs so the per-UE SINR surplus over its
+        // chosen MCS (uniform-ish in one CQI step) is integrated out.
+        let n_ues = 64;
+        let mut ch = CellChannel::new(cfg, n_ues, &Rng::new(3));
+        let mut fails = 0u32;
+        let n = 2_000;
+        for _ in 0..n {
+            for u in 0..n_ues {
+                if !ch.transmission_succeeds(u, 0) {
+                    fails += 1;
+                }
+            }
+        }
+        let rate = fails as f64 / (n * n_ues) as f64;
+        assert!(
+            (0.003..=0.12).contains(&rate),
+            "error rate={rate} out of expected band"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! User mobility models.
+//!
+//! §6.2 of the paper: "UEs are positioned randomly within a 200 m radius
+//! from the xNodeB having random mobility with an average walking speed of
+//! 1.4 m/s." We implement a bounded random-walk (random waypoint-ish
+//! direction changes) plus a static placement mode for the Colosseum-like
+//! "static" scenarios of Figure 19.
+
+use outran_simcore::{Dur, Rng};
+
+/// 2-D position in metres, cell centre at the origin (the xNodeB).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pos {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+}
+
+impl Pos {
+    /// Distance from the cell centre (the base station).
+    pub fn dist_origin(&self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+}
+
+/// Random-walk mobility within a disc of `radius` metres.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    pos: Pos,
+    speed_mps: f64,
+    heading: f64,
+    radius: f64,
+    /// Mean time between heading changes.
+    turn_period: Dur,
+    until_turn: Dur,
+    rng: Rng,
+}
+
+impl RandomWalk {
+    /// Place a walker uniformly in the disc (by area) and start walking.
+    ///
+    /// `min_radius` keeps UEs out of the antenna near-field (and bounds
+    /// the best-case path loss).
+    pub fn new(radius: f64, min_radius: f64, speed_mps: f64, mut rng: Rng) -> RandomWalk {
+        assert!(radius > min_radius && min_radius >= 0.0);
+        // Uniform over the annulus area.
+        let u = rng.f64();
+        let r = (min_radius * min_radius + u * (radius * radius - min_radius * min_radius)).sqrt();
+        let theta = rng.f64() * std::f64::consts::TAU;
+        let heading = rng.f64() * std::f64::consts::TAU;
+        RandomWalk {
+            pos: Pos {
+                x: r * theta.cos(),
+                y: r * theta.sin(),
+            },
+            speed_mps,
+            heading,
+            radius,
+            turn_period: Dur::from_secs(5),
+            until_turn: Dur::from_secs(5),
+            rng,
+        }
+    }
+
+    /// Current position.
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+
+    /// Walking speed (0 = static UE).
+    pub fn speed(&self) -> f64 {
+        self.speed_mps
+    }
+
+    /// Advance the walker by `dt`. Reflects off the disc boundary.
+    pub fn advance(&mut self, dt: Dur) {
+        if self.speed_mps <= 0.0 {
+            return;
+        }
+        let secs = dt.as_secs_f64();
+        self.pos.x += self.speed_mps * secs * self.heading.cos();
+        self.pos.y += self.speed_mps * secs * self.heading.sin();
+        // Reflect at the boundary: turn back toward the centre with jitter.
+        if self.pos.dist_origin() > self.radius {
+            let back = self.pos.y.atan2(self.pos.x) + std::f64::consts::PI;
+            self.heading = back + self.rng.range_f64(-0.5, 0.5);
+            let d = self.pos.dist_origin();
+            let scale = self.radius / d;
+            self.pos.x *= scale;
+            self.pos.y *= scale;
+        }
+        // Occasional random heading changes.
+        if dt >= self.until_turn {
+            self.heading = self.rng.f64() * std::f64::consts::TAU;
+            let next = outran_simcore::Exponential::from_mean(self.turn_period.as_secs_f64())
+                .sample(&mut self.rng);
+            self.until_turn = Dur::from_secs_f64(next.max(0.1));
+        } else {
+            self.until_turn = self.until_turn - dt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_position_in_annulus() {
+        for seed in 0..50 {
+            let w = RandomWalk::new(200.0, 10.0, 1.4, Rng::new(seed));
+            let d = w.pos().dist_origin();
+            assert!((10.0..=200.0).contains(&d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn stays_inside_disc() {
+        let mut w = RandomWalk::new(50.0, 5.0, 10.0, Rng::new(3));
+        for _ in 0..10_000 {
+            w.advance(Dur::from_millis(100));
+            assert!(w.pos().dist_origin() <= 50.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn static_ue_does_not_move() {
+        let mut w = RandomWalk::new(200.0, 10.0, 0.0, Rng::new(4));
+        let p0 = w.pos();
+        for _ in 0..100 {
+            w.advance(Dur::from_secs(1));
+        }
+        assert_eq!(w.pos(), p0);
+    }
+
+    #[test]
+    fn walker_covers_distance() {
+        let mut w = RandomWalk::new(10_000.0, 1.0, 1.4, Rng::new(5));
+        let p0 = w.pos();
+        // One step of 10 s without turning covers 14 m.
+        w.advance(Dur::from_secs(1));
+        let moved = ((w.pos().x - p0.x).powi(2) + (w.pos().y - p0.y).powi(2)).sqrt();
+        assert!((moved - 1.4).abs() < 1e-9, "moved={moved}");
+    }
+
+    #[test]
+    fn placement_is_area_uniform() {
+        // With area-uniform placement, ~75% of UEs fall beyond r/2.
+        let n = 5000;
+        let far = (0..n)
+            .filter(|&s| {
+                RandomWalk::new(200.0, 0.5, 1.4, Rng::new(1000 + s))
+                    .pos()
+                    .dist_origin()
+                    > 100.0
+            })
+            .count();
+        let frac = far as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "frac={frac}");
+    }
+}

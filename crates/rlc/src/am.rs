@@ -1,0 +1,683 @@
+//! RLC Acknowledged Mode.
+//!
+//! AM "provides a bidirectional data transfer service and supports
+//! link-layer retransmission" (§4.4) through three queues of strictly
+//! decreasing priority:
+//!
+//! 1. **Ctrl Q** — control PDUs (link-layer STATUS = ACK/NACK);
+//! 2. **Retx Q** — PDUs NACKed (or re-polled) awaiting retransmission;
+//! 3. **Tx Q** — fresh SDUs waiting for a first transmission opportunity.
+//!
+//! "OutRAN complies with the priority levels of each queue specified in
+//! the 3GPP standard … we only apply intra & inter-user scheduling on the
+//! TxQ and schedule the TxQ within the leftover tx opportunity bytes after
+//! scheduling the Ctrl and the Retx Q. The per-flow state is kept only for
+//! the TxQ." The Tx Q here is the same [`MlfqQueues`] the UM entity uses
+//! (or a FIFO for the PF baseline).
+//!
+//! The retransmission protocol is an LTE-flavoured AM: every transmitted
+//! PDU gets a sequence number; the receiver delivers in SN order and
+//! reports `STATUS {ack_sn, nacks[]}` when polled (gated by
+//! t-StatusProhibit); the transmitter moves NACKed PDUs to the Retx Q and
+//! re-polls on t-PollRetransmit expiry — the mechanism §6.3 notes "could
+//! generate unnecessary retransmissions \[55\] … wasting the bandwidth"
+//! when timers are mis-set.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use outran_pdcp::Priority;
+use outran_simcore::{Dur, Time};
+
+use crate::bsr::BufferStatus;
+use crate::mlfq::MlfqQueues;
+use crate::sdu::{RlcSdu, RlcSegment};
+use crate::um::DeliveredSdu;
+
+/// AM entity configuration (timer defaults follow the NS-3 LENA module,
+/// as in the §6.3 case study).
+#[derive(Debug, Clone, Copy)]
+pub struct AmConfig {
+    /// MLFQ levels for the Tx Q (1 = legacy FIFO).
+    pub mlfq_levels: usize,
+    /// Tx buffer capacity in SDUs.
+    pub capacity_sdus: usize,
+    /// Header bytes charged per PDU.
+    pub header_bytes: u32,
+    /// Poll every N data PDUs (pollPDU).
+    pub poll_pdu: u32,
+    /// Re-poll if no STATUS arrives within this time (t-PollRetransmit).
+    pub t_poll_retransmit: Dur,
+    /// Minimum spacing between STATUS reports (t-StatusProhibit).
+    pub t_status_prohibit: Dur,
+    /// Maximum retransmissions of one PDU before it is dropped
+    /// (maxRetxThreshold).
+    pub max_retx: u8,
+    /// §4.4 segmented-SDU promotion on the Tx Q.
+    pub promote_segments: bool,
+    /// Priority push-out on overflow (vs drop-tail).
+    pub pushout: bool,
+}
+
+impl Default for AmConfig {
+    fn default() -> Self {
+        AmConfig {
+            mlfq_levels: 4,
+            capacity_sdus: 128,
+            header_bytes: 5,
+            poll_pdu: 4,
+            t_poll_retransmit: Dur::from_millis(45),
+            t_status_prohibit: Dur::from_millis(10),
+            max_retx: 8,
+            promote_segments: true,
+            pushout: true,
+        }
+    }
+}
+
+impl AmConfig {
+    /// Legacy (PF baseline) configuration: FIFO Tx Q.
+    pub fn legacy() -> AmConfig {
+        AmConfig {
+            mlfq_levels: 1,
+            ..AmConfig::default()
+        }
+    }
+}
+
+/// A STATUS control PDU: cumulative ACK + selective NACKs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusPdu {
+    /// All SNs below this are acknowledged…
+    pub ack_sn: u32,
+    /// …except these (received SNs above `ack_sn` imply the gaps listed).
+    pub nacks: Vec<u32>,
+}
+
+impl StatusPdu {
+    /// Wire size of this STATUS PDU (2 B fixed + 2 B per NACK, roughly
+    /// the TS 36.322 encoding).
+    pub fn wire_bytes(&self) -> u32 {
+        2 + 2 * self.nacks.len() as u32
+    }
+}
+
+/// A numbered AM data PDU (one RLC segment + AM header state).
+#[derive(Debug, Clone)]
+pub struct AmPdu {
+    /// AM sequence number.
+    pub sn: u32,
+    /// The data carried.
+    pub seg: RlcSegment,
+    /// Poll bit: receiver must emit a STATUS when it sees this.
+    pub poll: bool,
+}
+
+/// AM transmitting entity (eNodeB side for downlink).
+#[derive(Debug, Clone)]
+pub struct AmTx {
+    cfg: AmConfig,
+    txq: MlfqQueues,
+    retxq: VecDeque<AmPdu>,
+    /// Outgoing control PDUs (status for the reverse direction etc.).
+    ctrlq: VecDeque<u32>,
+    /// Unacknowledged PDUs awaiting STATUS, by SN.
+    flight: BTreeMap<u32, (AmPdu, u8)>,
+    next_sn: u32,
+    pdus_since_poll: u32,
+    poll_outstanding: Option<Time>,
+    /// PDUs abandoned after maxRetx (counts toward upper-layer loss).
+    pub dropped_pdus: u64,
+    /// SDUs dropped at the full Tx buffer.
+    pub dropped_sdus: u64,
+    /// Total retransmitted PDUs (diagnostics for the §6.3 discussion).
+    pub retx_count: u64,
+}
+
+impl AmTx {
+    /// Create a transmitter.
+    pub fn new(cfg: AmConfig) -> AmTx {
+        let mut txq = MlfqQueues::new(cfg.mlfq_levels, cfg.capacity_sdus);
+        txq.set_promote_segments(cfg.promote_segments);
+        txq.set_pushout(cfg.pushout);
+        AmTx {
+            cfg,
+            txq,
+            retxq: VecDeque::new(),
+            ctrlq: VecDeque::new(),
+            flight: BTreeMap::new(),
+            next_sn: 0,
+            pdus_since_poll: 0,
+            poll_outstanding: None,
+            dropped_pdus: 0,
+            dropped_sdus: 0,
+            retx_count: 0,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &AmConfig {
+        &self.cfg
+    }
+
+    /// Enqueue a fresh SDU into the Tx Q.
+    pub fn write_sdu(&mut self, sdu: RlcSdu) -> Result<(), RlcSdu> {
+        self.txq.push(sdu).map_err(|s| {
+            self.dropped_sdus += 1;
+            s
+        })
+    }
+
+    /// Enqueue an outgoing control PDU of the given wire size (models the
+    /// bidirectional service's reverse-direction STATUS traffic).
+    pub fn queue_ctrl_pdu(&mut self, bytes: u32) {
+        self.ctrlq.push_back(bytes);
+    }
+
+    /// Serve a transmission opportunity: Ctrl ≻ Retx ≻ Tx (§4.4).
+    /// Returns the data PDUs emitted, the control bytes emitted, and the
+    /// total bytes consumed.
+    pub fn pull(&mut self, budget: u64, now: Time) -> (Vec<AmPdu>, u64, u64) {
+        let mut used = 0u64;
+        let mut ctrl_bytes = 0u64;
+        let hdr = self.cfg.header_bytes as u64;
+
+        // 1. Control queue.
+        while let Some(&b) = self.ctrlq.front() {
+            if used + b as u64 > budget {
+                break;
+            }
+            used += b as u64;
+            ctrl_bytes += b as u64;
+            self.ctrlq.pop_front();
+        }
+
+        let mut out = Vec::new();
+
+        // 2. Retransmission queue (whole PDUs).
+        while let Some(pdu) = self.retxq.front() {
+            let cost = hdr + pdu.seg.len as u64;
+            if used + cost > budget {
+                break;
+            }
+            let mut pdu = self.retxq.pop_front().unwrap();
+            used += cost;
+            self.retx_count += 1;
+            pdu.poll = self.should_poll(now);
+            let retx = self
+                .flight
+                .get(&pdu.sn)
+                .map(|(_, r)| *r)
+                .unwrap_or(0);
+            self.flight.insert(pdu.sn, (pdu.clone(), retx));
+            out.push(pdu);
+        }
+
+        // 3. Tx queue (MLFQ / FIFO) within the leftover opportunity.
+        if used < budget {
+            let (segs, consumed) = self.txq.pull(budget - used, self.cfg.header_bytes);
+            used += consumed;
+            for seg in segs {
+                let sn = self.next_sn;
+                self.next_sn = self.next_sn.wrapping_add(1);
+                let poll = self.should_poll(now);
+                let pdu = AmPdu { sn, seg, poll };
+                self.flight.insert(sn, (pdu.clone(), 0));
+                out.push(pdu);
+            }
+        }
+
+        // Poll on buffer drain (standard trigger) if data went out unpolled.
+        if !out.is_empty()
+            && self.txq.is_empty()
+            && self.retxq.is_empty()
+            && !out.iter().any(|p| p.poll)
+        {
+            out.last_mut().unwrap().poll = true;
+            if let Some(last) = out.last() {
+                if let Some((fp, _)) = self.flight.get_mut(&last.sn) {
+                    fp.poll = true;
+                }
+            }
+            self.poll_outstanding = Some(now + self.cfg.t_poll_retransmit);
+        }
+
+        (out, ctrl_bytes, used)
+    }
+
+    fn should_poll(&mut self, now: Time) -> bool {
+        self.pdus_since_poll += 1;
+        if self.pdus_since_poll >= self.cfg.poll_pdu {
+            self.pdus_since_poll = 0;
+            self.poll_outstanding = Some(now + self.cfg.t_poll_retransmit);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Process a STATUS PDU from the receiver.
+    pub fn on_status(&mut self, status: &StatusPdu) {
+        self.poll_outstanding = None;
+        // Positive acknowledgement below ack_sn (minus explicit NACKs).
+        let acked: Vec<u32> = self
+            .flight
+            .range(..status.ack_sn)
+            .map(|(&sn, _)| sn)
+            .filter(|sn| !status.nacks.contains(sn))
+            .collect();
+        for sn in acked {
+            self.flight.remove(&sn);
+        }
+        // NACKs: schedule retransmission (unless already queued / expired).
+        for &sn in &status.nacks {
+            if let Some((pdu, retx)) = self.flight.get_mut(&sn) {
+                if self.retxq.iter().any(|p| p.sn == sn) {
+                    continue;
+                }
+                *retx += 1;
+                if *retx > self.cfg.max_retx {
+                    self.flight.remove(&sn);
+                    self.dropped_pdus += 1;
+                } else {
+                    let p = pdu.clone();
+                    self.retxq.push_back(p);
+                }
+            }
+        }
+    }
+
+    /// Timer maintenance: t-PollRetransmit expiry re-queues the earliest
+    /// unacknowledged PDU with a fresh poll (the "unnecessary
+    /// retransmissions" pathway of §6.3 when the timer is aggressive).
+    ///
+    /// The timer self-arms whenever PDUs are in flight without an
+    /// outstanding poll — a STATUS can clear the poll while a *later*
+    /// PDU (one past the receiver's highest seen SN) is still missing,
+    /// and only the timer can recover that tail loss.
+    pub fn on_tick(&mut self, now: Time) {
+        if self.poll_outstanding.is_none() && !self.flight.is_empty() {
+            self.poll_outstanding = Some(now + self.cfg.t_poll_retransmit);
+            return;
+        }
+        if let Some(deadline) = self.poll_outstanding {
+            if now >= deadline {
+                self.poll_outstanding = None;
+                if let Some((&sn, (pdu, _))) = self.flight.iter().next() {
+                    if !self.retxq.iter().any(|p| p.sn == sn) {
+                        let mut p = pdu.clone();
+                        p.poll = true;
+                        self.retxq.push_back(p);
+                        self.retx_count += 1; // will be re-counted on send; diagnostic only
+                        self.poll_outstanding = Some(now + self.cfg.t_poll_retransmit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Buffer status: MLFQ occupancy plus ctrl/retx bytes (always served
+    /// first, and *not* part of the eq. (2) user priority).
+    pub fn buffer_status(&self) -> BufferStatus {
+        let retx_bytes: u64 = self
+            .retxq
+            .iter()
+            .map(|p| p.seg.len as u64 + self.cfg.header_bytes as u64)
+            .sum();
+        let ctrl: u64 = self.ctrlq.iter().map(|&b| b as u64).sum();
+        BufferStatus {
+            bytes_per_priority: self.txq.bytes_per_priority(),
+            ctrl_and_retx_bytes: ctrl + retx_bytes,
+        }
+    }
+
+    /// The eq. (2) user priority (Tx Q only).
+    pub fn head_priority(&self) -> Option<Priority> {
+        self.txq.head_priority()
+    }
+
+    /// Unacknowledged PDUs in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flight.len()
+    }
+
+    /// Oldest head-of-line arrival across the Tx queue.
+    pub fn oldest_head_arrival(&self) -> Option<Time> {
+        self.txq.oldest_head_arrival()
+    }
+
+    /// Whether every queue is drained and nothing is unacknowledged.
+    pub fn is_idle(&self) -> bool {
+        self.txq.is_empty() && self.retxq.is_empty() && self.ctrlq.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RxPartial {
+    received: u32,
+    next_offset: u32,
+    sdu_len: u32,
+    flow_id: u64,
+    seq: u64,
+}
+
+/// AM receiving entity (UE side for downlink).
+#[derive(Debug, Clone)]
+pub struct AmRx {
+    cfg: AmConfig,
+    /// Buffered out-of-order PDUs awaiting in-order delivery.
+    window: BTreeMap<u32, AmPdu>,
+    rx_next: u32,
+    highest_seen: Option<u32>,
+    partials: std::collections::HashMap<u64, RxPartial>,
+    last_status_at: Option<Time>,
+    status_requested: bool,
+    /// SDUs delivered in order.
+    pub delivered_count: u64,
+}
+
+impl AmRx {
+    /// Create a receiver.
+    pub fn new(cfg: AmConfig) -> AmRx {
+        AmRx {
+            cfg,
+            window: BTreeMap::new(),
+            rx_next: 0,
+            highest_seen: None,
+            partials: std::collections::HashMap::new(),
+            last_status_at: None,
+            status_requested: false,
+            delivered_count: 0,
+        }
+    }
+
+    /// Process one arriving data PDU; returns SDUs that completed
+    /// *in order*, plus a STATUS PDU when polled and permitted by
+    /// t-StatusProhibit.
+    pub fn on_pdu(&mut self, pdu: AmPdu, now: Time) -> (Vec<DeliveredSdu>, Option<StatusPdu>) {
+        if pdu.poll {
+            self.status_requested = true;
+        }
+        self.highest_seen = Some(self.highest_seen.map_or(pdu.sn, |h| h.max(pdu.sn)));
+        if pdu.sn >= self.rx_next {
+            self.window.entry(pdu.sn).or_insert(pdu);
+        }
+        // In-order delivery: drain the contiguous prefix of the window.
+        let mut delivered = Vec::new();
+        while let Some(p) = self.window.remove(&self.rx_next) {
+            self.rx_next = self.rx_next.wrapping_add(1);
+            if let Some(d) = self.reassemble(&p.seg) {
+                delivered.push(d);
+            }
+        }
+        self.delivered_count += delivered.len() as u64;
+        let status = self.maybe_status(now);
+        (delivered, status)
+    }
+
+    fn reassemble(&mut self, seg: &RlcSegment) -> Option<DeliveredSdu> {
+        if seg.is_whole() {
+            return Some(DeliveredSdu {
+                sdu_id: seg.sdu_id,
+                flow_id: seg.flow_id,
+                len: seg.sdu_len,
+                seq: seg.seq,
+            });
+        }
+        let p = self.partials.entry(seg.sdu_id).or_insert(RxPartial {
+            received: 0,
+            next_offset: 0,
+            sdu_len: seg.sdu_len,
+            flow_id: seg.flow_id,
+            seq: seg.seq - seg.offset as u64,
+        });
+        // AM delivers PDUs in SN order, so segments arrive in offset order.
+        debug_assert_eq!(seg.offset, p.next_offset, "AM segments must be in order");
+        p.received += seg.len;
+        p.next_offset += seg.len;
+        if p.received == p.sdu_len {
+            let p = self.partials.remove(&seg.sdu_id).unwrap();
+            Some(DeliveredSdu {
+                sdu_id: seg.sdu_id,
+                flow_id: p.flow_id,
+                len: p.sdu_len,
+                seq: p.seq,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn maybe_status(&mut self, now: Time) -> Option<StatusPdu> {
+        if !self.status_requested {
+            return None;
+        }
+        if let Some(last) = self.last_status_at {
+            if now.saturating_since(last) < self.cfg.t_status_prohibit {
+                return None; // prohibited; will fire on a later PDU/poll
+            }
+        }
+        self.status_requested = false;
+        self.last_status_at = Some(now);
+        Some(self.build_status())
+    }
+
+    /// Build the current STATUS PDU (cumulative ACK + gap NACKs).
+    pub fn build_status(&self) -> StatusPdu {
+        let mut nacks = Vec::new();
+        if let Some(high) = self.highest_seen {
+            for sn in self.rx_next..=high {
+                if !self.window.contains_key(&sn) {
+                    nacks.push(sn);
+                }
+            }
+        }
+        StatusPdu {
+            // Everything up to the highest seen is covered by the report:
+            // received SNs are implicitly ACKed, gaps are NACKed.
+            ack_sn: self.highest_seen.map_or(0, |h| h + 1),
+            nacks,
+        }
+    }
+
+    /// Next in-sequence SN expected.
+    pub fn rx_next(&self) -> u32 {
+        self.rx_next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outran_pdcp::FiveTuple;
+
+    fn sdu(id: u64, len: u32, prio: u8) -> RlcSdu {
+        RlcSdu {
+            id,
+            flow_id: id,
+            tuple: FiveTuple::simulated(id, 0),
+            len,
+            offset: 0,
+            priority: Priority(prio),
+            arrival: Time::ZERO,
+            seq: id * 1_000_000,
+        }
+    }
+
+    fn cfg0() -> AmConfig {
+        AmConfig {
+            header_bytes: 0,
+            ..AmConfig::default()
+        }
+    }
+
+    #[test]
+    fn lossless_roundtrip_in_order() {
+        let mut tx = AmTx::new(cfg0());
+        let mut rx = AmRx::new(cfg0());
+        for i in 0..10 {
+            tx.write_sdu(sdu(i, 1000, 0)).unwrap();
+        }
+        let (pdus, _, _) = tx.pull(100_000, Time::ZERO);
+        assert_eq!(pdus.len(), 10);
+        let mut delivered = 0;
+        for p in pdus {
+            let (d, status) = rx.on_pdu(p, Time::ZERO);
+            delivered += d.len();
+            if let Some(s) = status {
+                tx.on_status(&s);
+            }
+        }
+        assert_eq!(delivered, 10);
+    }
+
+    #[test]
+    fn loss_triggers_nack_and_retx() {
+        let mut tx = AmTx::new(cfg0());
+        let mut rx = AmRx::new(cfg0());
+        for i in 0..4 {
+            tx.write_sdu(sdu(i, 1000, 0)).unwrap();
+        }
+        let (pdus, _, _) = tx.pull(100_000, Time::ZERO);
+        assert_eq!(pdus.len(), 4);
+        // Lose PDU sn=1.
+        let mut status = None;
+        for (i, p) in pdus.into_iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let (_, s) = rx.on_pdu(p, Time::from_millis(i as u64 * 20));
+            if s.is_some() {
+                status = s;
+            }
+        }
+        let status = status.expect("poll-on-drain must elicit a status");
+        assert!(status.nacks.contains(&1), "nacks={:?}", status.nacks);
+        tx.on_status(&status);
+        // The NACKed PDU goes out ahead of nothing else and completes.
+        let (retx, _, _) = tx.pull(100_000, Time::from_millis(100));
+        assert_eq!(retx.len(), 1);
+        assert_eq!(retx[0].sn, 1);
+        assert_eq!(tx.retx_count, 1);
+        let (d, _) = rx.on_pdu(retx[0].clone(), Time::from_millis(101));
+        // In-order delivery releases SDU 1,2,3 all at once.
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn ctrl_beats_retx_beats_tx() {
+        let mut tx = AmTx::new(cfg0());
+        // Seed a NACKed PDU into retx.
+        tx.write_sdu(sdu(0, 500, 0)).unwrap();
+        let (p0, _, _) = tx.pull(100_000, Time::ZERO);
+        tx.on_status(&StatusPdu {
+            ack_sn: 1,
+            nacks: vec![0],
+        });
+        assert_eq!(p0.len(), 1);
+        // Fresh data + a ctrl PDU.
+        tx.write_sdu(sdu(1, 500, 0)).unwrap();
+        tx.queue_ctrl_pdu(10);
+        let bs = tx.buffer_status();
+        assert!(bs.ctrl_and_retx_bytes >= 510);
+        // Tiny budget: only ctrl fits.
+        let (pdus, ctrl, used) = tx.pull(10, Time::ZERO);
+        assert_eq!(ctrl, 10);
+        assert_eq!(used, 10);
+        assert!(pdus.is_empty());
+        // Next budget: retx first, then fresh.
+        let (pdus2, _, _) = tx.pull(100_000, Time::ZERO);
+        assert_eq!(pdus2[0].sn, 0, "retx must precede new data");
+        assert_eq!(pdus2[1].sn, 1);
+    }
+
+    #[test]
+    fn out_of_order_held_until_gap_fills() {
+        let mut tx = AmTx::new(cfg0());
+        let mut rx = AmRx::new(cfg0());
+        for i in 0..3 {
+            tx.write_sdu(sdu(i, 100, 0)).unwrap();
+        }
+        let (pdus, _, _) = tx.pull(100_000, Time::ZERO);
+        // Deliver 2 first: nothing released.
+        let (d2, _) = rx.on_pdu(pdus[2].clone(), Time::ZERO);
+        assert!(d2.is_empty());
+        let (d0, _) = rx.on_pdu(pdus[0].clone(), Time::ZERO);
+        assert_eq!(d0.len(), 1);
+        let (d1, _) = rx.on_pdu(pdus[1].clone(), Time::ZERO);
+        assert_eq!(d1.len(), 2, "gap fill releases the held PDU too");
+    }
+
+    #[test]
+    fn max_retx_drops_pdu() {
+        let mut cfg = cfg0();
+        cfg.max_retx = 1;
+        let mut tx = AmTx::new(cfg);
+        tx.write_sdu(sdu(0, 100, 0)).unwrap();
+        let _ = tx.pull(100_000, Time::ZERO);
+        let nack = StatusPdu {
+            ack_sn: 1,
+            nacks: vec![0],
+        };
+        tx.on_status(&nack); // retx 1 queued
+        let _ = tx.pull(100_000, Time::ZERO);
+        tx.on_status(&nack); // exceeds max_retx => dropped
+        assert_eq!(tx.dropped_pdus, 1);
+        assert_eq!(tx.in_flight(), 0);
+    }
+
+    #[test]
+    fn status_prohibit_rate_limits() {
+        let mut cfg = cfg0();
+        cfg.poll_pdu = 1; // poll on every PDU
+        cfg.t_status_prohibit = Dur::from_millis(10);
+        let mut tx = AmTx::new(cfg);
+        let mut rx = AmRx::new(cfg);
+        for i in 0..5 {
+            tx.write_sdu(sdu(i, 100, 0)).unwrap();
+        }
+        let (pdus, _, _) = tx.pull(100_000, Time::ZERO);
+        let mut statuses = 0;
+        for (i, p) in pdus.into_iter().enumerate() {
+            // All within 5 ms => only the first status escapes.
+            let (_, s) = rx.on_pdu(p, Time::from_millis(i as u64));
+            statuses += s.is_some() as u32;
+        }
+        assert_eq!(statuses, 1);
+    }
+
+    #[test]
+    fn poll_retransmit_timer_repolls() {
+        let mut cfg = cfg0();
+        cfg.t_poll_retransmit = Dur::from_millis(20);
+        let mut tx = AmTx::new(cfg);
+        tx.write_sdu(sdu(0, 100, 0)).unwrap();
+        let (pdus, _, _) = tx.pull(100_000, Time::ZERO);
+        assert!(pdus[0].poll, "drain poll expected");
+        // STATUS never arrives; timer expires.
+        tx.on_tick(Time::from_millis(25));
+        let (re, _, _) = tx.pull(100_000, Time::from_millis(26));
+        assert_eq!(re.len(), 1);
+        assert_eq!(re[0].sn, 0);
+        assert!(re[0].poll);
+    }
+
+    #[test]
+    fn segmentation_respected_by_am() {
+        let mut tx = AmTx::new(cfg0());
+        let mut rx = AmRx::new(cfg0());
+        tx.write_sdu(sdu(0, 3000, 0)).unwrap();
+        let mut delivered = Vec::new();
+        for tti in 0..5 {
+            let (pdus, _, _) = tx.pull(1000, Time::from_millis(tti));
+            for p in pdus {
+                let (d, s) = rx.on_pdu(p, Time::from_millis(tti));
+                delivered.extend(d);
+                if let Some(s) = s {
+                    tx.on_status(&s);
+                }
+            }
+        }
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].len, 3000);
+    }
+}

@@ -1,0 +1,409 @@
+//! The per-UE Multi-Level Feedback Queue (intra-user flow scheduler).
+//!
+//! §4.2: srsRAN's single FIFO `tx_sdu_queue` is split into K strict-
+//! priority queues; each ingress SDU lands in the queue matching the MLFQ
+//! priority PDCP marked it with. Dequeueing serves the highest-priority
+//! non-empty queue first, approximating SJF on the flows sharing this UE.
+//!
+//! §4.4 adds the *segmented-SDU promotion*: when a transmission
+//! opportunity ends in the middle of an SDU, the leftover is promoted to
+//! the head of the first priority queue. Otherwise packets from higher
+//! queues could delay the remaining segment past the receiver's
+//! reassembly window, causing a discard that hurts FCT.
+//!
+//! A K=1 instance is exactly the legacy FIFO, which is how the vanilla
+//! srsRAN baseline is expressed in this codebase.
+
+use std::collections::VecDeque;
+
+use outran_pdcp::Priority;
+
+use crate::sdu::{RlcSdu, RlcSegment};
+
+/// Strict-priority multi-queue with a promoted slot for segmented SDUs.
+#[derive(Debug, Clone)]
+pub struct MlfqQueues {
+    /// One FIFO per priority level (index 0 = P1, highest).
+    queues: Vec<VecDeque<RlcSdu>>,
+    /// Partially-sent SDUs, served before everything else (§4.4).
+    promoted: VecDeque<RlcSdu>,
+    /// Remaining bytes per priority level.
+    bytes: Vec<u64>,
+    /// Remaining bytes in the promoted slot.
+    promoted_bytes: u64,
+    /// Total SDUs across all queues (for the buffer cap).
+    n_sdus: usize,
+    /// Maximum SDUs held (srsENB UM default: 128).
+    capacity_sdus: usize,
+    /// Whether the §4.4 promotion is active (off reproduces a "strict
+    /// MLFQ without the reassembly fix" ablation).
+    promote_segments: bool,
+    /// Whether a full buffer evicts the worst-priority tail SDU to admit
+    /// a better one (push-out) or drops the incoming SDU (drop-tail).
+    pushout: bool,
+}
+
+impl MlfqQueues {
+    /// Create with `k` priority levels and an SDU capacity.
+    pub fn new(k: usize, capacity_sdus: usize) -> MlfqQueues {
+        assert!(k >= 1, "need at least one queue");
+        MlfqQueues {
+            queues: (0..k).map(|_| VecDeque::new()).collect(),
+            promoted: VecDeque::new(),
+            bytes: vec![0; k],
+            promoted_bytes: 0,
+            n_sdus: 0,
+            capacity_sdus,
+            promote_segments: true,
+            pushout: true,
+        }
+    }
+
+    /// Legacy single-FIFO configuration (the vanilla srsRAN tx queue).
+    pub fn fifo(capacity_sdus: usize) -> MlfqQueues {
+        MlfqQueues::new(1, capacity_sdus)
+    }
+
+    /// Disable/enable segmented-SDU promotion (§4.4 ablation knob).
+    pub fn set_promote_segments(&mut self, on: bool) {
+        self.promote_segments = on;
+    }
+
+    /// Select the overflow policy: push-out (default) or plain drop-tail
+    /// (ablation knob; K=1 queues behave identically either way).
+    pub fn set_pushout(&mut self, on: bool) {
+        self.pushout = on;
+    }
+
+    /// Number of priority levels.
+    pub fn num_levels(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total queued SDUs (whole + partial).
+    pub fn len_sdus(&self) -> usize {
+        self.n_sdus
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.n_sdus == 0
+    }
+
+    /// Total queued bytes still to transmit.
+    pub fn queued_bytes(&self) -> u64 {
+        self.promoted_bytes + self.bytes.iter().sum::<u64>()
+    }
+
+    /// Queued bytes per priority level; promoted bytes count at level 0,
+    /// since that is where they are served (this is what the BSR reports).
+    pub fn bytes_per_priority(&self) -> Vec<u64> {
+        let mut v = self.bytes.clone();
+        v[0] += self.promoted_bytes;
+        v
+    }
+
+    /// The highest-priority level with data — the user priority of
+    /// eq. (2). Promoted segments count as P1.
+    pub fn head_priority(&self) -> Option<Priority> {
+        if !self.promoted.is_empty() {
+            return Some(Priority::TOP);
+        }
+        self.bytes
+            .iter()
+            .position(|&b| b > 0)
+            .map(|i| Priority(i as u8))
+    }
+
+    /// Enqueue an SDU at its marked priority (clamped to the available
+    /// levels, so a K=1 instance degrades to FIFO).
+    ///
+    /// Overflow policy: **priority push-out**. When the buffer is full,
+    /// the tail SDU of the lowest-priority queue *strictly below* the
+    /// incoming SDU's level is evicted to make room; if no worse queue
+    /// has data, the incoming SDU itself is dropped. A K=1 instance
+    /// therefore degrades to plain drop-tail (the legacy behaviour). The
+    /// `Err` carries whichever SDU was dropped, so TCP sees the loss.
+    pub fn push(&mut self, sdu: RlcSdu) -> Result<(), RlcSdu> {
+        let level = (sdu.priority.0 as usize).min(self.queues.len() - 1);
+        if self.n_sdus >= self.capacity_sdus {
+            if !self.pushout {
+                return Err(sdu); // drop-tail ablation
+            }
+            // Find a victim strictly below the incoming priority.
+            let victim_level = (level + 1..self.queues.len())
+                .rev()
+                .find(|&l| !self.queues[l].is_empty());
+            let Some(vl) = victim_level else {
+                return Err(sdu); // nothing worse to evict: drop incoming
+            };
+            let victim = self.queues[vl].pop_back().expect("non-empty");
+            self.bytes[vl] -= victim.remaining() as u64;
+            self.n_sdus -= 1;
+            self.bytes[level] += sdu.remaining() as u64;
+            self.queues[level].push_back(sdu);
+            self.n_sdus += 1;
+            return Err(victim);
+        }
+        self.bytes[level] += sdu.remaining() as u64;
+        self.queues[level].push_back(sdu);
+        self.n_sdus += 1;
+        Ok(())
+    }
+
+    /// Dequeue up to `budget` bytes into segments, honoring strict
+    /// priority and charging `header_bytes` of RLC/MAC overhead per
+    /// emitted segment. Returns the segments and the bytes consumed
+    /// (payload + headers).
+    ///
+    /// Segmentation: a partial emit leaves the remainder either promoted
+    /// to the head of P1 (OutRAN) or at the head of its own queue
+    /// (promotion disabled / legacy FIFO — where the head position makes
+    /// it next anyway).
+    pub fn pull(&mut self, budget: u64, header_bytes: u32) -> (Vec<RlcSegment>, u64) {
+        let mut out = Vec::new();
+        let mut used = 0u64;
+        while used + (header_bytes as u64) < budget {
+            let avail = budget - used - header_bytes as u64;
+            let Some((mut sdu, from_promoted)) = self.pop_next() else {
+                break;
+            };
+            let take = (sdu.remaining() as u64).min(avail) as u32;
+            if take == 0 {
+                // Not even one payload byte fits; put it back untouched.
+                self.unpop(sdu, from_promoted);
+                break;
+            }
+            out.push(RlcSegment {
+                sdu_id: sdu.id,
+                flow_id: sdu.flow_id,
+                tuple: sdu.tuple,
+                offset: sdu.offset,
+                len: take,
+                sdu_len: sdu.len,
+                seq: sdu.seq + sdu.offset as u64,
+                pdcp_sn: None,
+                arrival: sdu.arrival,
+            });
+            sdu.offset += take;
+            used += take as u64 + header_bytes as u64;
+            if sdu.remaining() > 0 {
+                // Partial: requeue for the next opportunity.
+                if self.promote_segments {
+                    self.promoted_bytes += sdu.remaining() as u64;
+                    self.promoted.push_front(sdu);
+                } else {
+                    let level = (sdu.priority.0 as usize).min(self.queues.len() - 1);
+                    self.bytes[level] += sdu.remaining() as u64;
+                    self.queues[level].push_front(sdu);
+                }
+                self.n_sdus += 1;
+                break; // budget necessarily exhausted
+            }
+        }
+        (out, used)
+    }
+
+    /// Pop the next SDU in service order, accounting bytes out.
+    fn pop_next(&mut self) -> Option<(RlcSdu, bool)> {
+        if let Some(sdu) = self.promoted.pop_front() {
+            self.promoted_bytes -= sdu.remaining() as u64;
+            self.n_sdus -= 1;
+            return Some((sdu, true));
+        }
+        for (level, q) in self.queues.iter_mut().enumerate() {
+            if let Some(sdu) = q.pop_front() {
+                self.bytes[level] -= sdu.remaining() as u64;
+                self.n_sdus -= 1;
+                return Some((sdu, false));
+            }
+        }
+        None
+    }
+
+    /// Undo a [`MlfqQueues::pop_next`].
+    fn unpop(&mut self, sdu: RlcSdu, from_promoted: bool) {
+        if from_promoted {
+            self.promoted_bytes += sdu.remaining() as u64;
+            self.promoted.push_front(sdu);
+        } else {
+            let level = (sdu.priority.0 as usize).min(self.queues.len() - 1);
+            self.bytes[level] += sdu.remaining() as u64;
+            self.queues[level].push_front(sdu);
+        }
+        self.n_sdus += 1;
+    }
+
+    /// Iterate over all queued SDUs (diagnostics/tests).
+    pub fn iter(&self) -> impl Iterator<Item = &RlcSdu> {
+        self.promoted.iter().chain(self.queues.iter().flatten())
+    }
+
+    /// Arrival time of the oldest SDU at the head of any level — the
+    /// head-of-line sojourn anchor the CQA baseline weighs by. Within a
+    /// level SDUs are FIFO, so per-level heads bound the minimum.
+    pub fn oldest_head_arrival(&self) -> Option<outran_simcore::Time> {
+        self.promoted
+            .front()
+            .map(|s| s.arrival)
+            .into_iter()
+            .chain(self.queues.iter().filter_map(|q| q.front().map(|s| s.arrival)))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outran_pdcp::FiveTuple;
+    use outran_simcore::Time;
+
+    fn sdu(id: u64, len: u32, prio: u8) -> RlcSdu {
+        RlcSdu {
+            id,
+            flow_id: id / 100,
+            tuple: FiveTuple::simulated(id / 100, 0),
+            len,
+            offset: 0,
+            priority: Priority(prio),
+            arrival: Time::ZERO,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn strict_priority_order() {
+        let mut q = MlfqQueues::new(4, 128);
+        q.push(sdu(1, 100, 3)).unwrap();
+        q.push(sdu(2, 100, 0)).unwrap();
+        q.push(sdu(3, 100, 1)).unwrap();
+        let (segs, used) = q.pull(10_000, 0);
+        assert_eq!(used, 300);
+        let ids: Vec<u64> = segs.iter().map(|s| s.sdu_id).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn fifo_within_level() {
+        let mut q = MlfqQueues::new(4, 128);
+        for id in 1..=5 {
+            q.push(sdu(id, 50, 1)).unwrap();
+        }
+        let (segs, _) = q.pull(10_000, 0);
+        let ids: Vec<u64> = segs.iter().map(|s| s.sdu_id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn segmentation_and_promotion() {
+        let mut q = MlfqQueues::new(4, 128);
+        q.push(sdu(1, 1500, 2)).unwrap(); // low priority, big
+        let (segs, used) = q.pull(600, 0);
+        assert_eq!(used, 600);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].offset, 0);
+        assert_eq!(segs[0].len, 600);
+        assert!(!segs[0].is_last());
+        // A high-priority SDU arrives; the promoted segment must still win.
+        q.push(sdu(2, 100, 0)).unwrap();
+        assert_eq!(q.head_priority(), Some(Priority::TOP));
+        let (segs2, _) = q.pull(10_000, 0);
+        assert_eq!(segs2[0].sdu_id, 1);
+        assert_eq!(segs2[0].offset, 600);
+        assert!(segs2[0].is_last());
+        assert_eq!(segs2[1].sdu_id, 2);
+    }
+
+    #[test]
+    fn no_promotion_keeps_segment_at_own_level() {
+        let mut q = MlfqQueues::new(4, 128);
+        q.set_promote_segments(false);
+        q.push(sdu(1, 1500, 2)).unwrap();
+        let _ = q.pull(600, 0);
+        q.push(sdu(2, 100, 0)).unwrap();
+        // Without promotion, the fresh P1 SDU preempts the leftover.
+        let (segs, _) = q.pull(10_000, 0);
+        assert_eq!(segs[0].sdu_id, 2);
+        assert_eq!(segs[1].sdu_id, 1);
+        assert_eq!(segs[1].offset, 600);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut q = MlfqQueues::new(4, 3);
+        for id in 0..3 {
+            q.push(sdu(id, 100, 0)).unwrap();
+        }
+        assert!(q.push(sdu(99, 100, 0)).is_err());
+        assert_eq!(q.len_sdus(), 3);
+    }
+
+    #[test]
+    fn byte_accounting_consistent() {
+        let mut q = MlfqQueues::new(4, 128);
+        q.push(sdu(1, 1000, 0)).unwrap();
+        q.push(sdu(2, 500, 2)).unwrap();
+        assert_eq!(q.queued_bytes(), 1500);
+        assert_eq!(q.bytes_per_priority(), vec![1000, 0, 500, 0]);
+        let (_, used) = q.pull(700, 0);
+        assert_eq!(used, 700);
+        assert_eq!(q.queued_bytes(), 800);
+        // 300 left of SDU 1, promoted => counts at level 0.
+        assert_eq!(q.bytes_per_priority(), vec![300, 0, 500, 0]);
+        let (_, used2) = q.pull(10_000, 0);
+        assert_eq!(used2, 800);
+        assert!(q.is_empty());
+        assert_eq!(q.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn header_overhead_charged_per_segment() {
+        let mut q = MlfqQueues::new(1, 128);
+        q.push(sdu(1, 100, 0)).unwrap();
+        q.push(sdu(2, 100, 0)).unwrap();
+        // Budget 110 with 5-byte headers: the first segment consumes
+        // 5 + 100 = 105 and no payload byte fits after the next header.
+        let (segs, used) = q.pull(110, 5);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len, 100);
+        assert_eq!(used, 105);
+        // A budget of 116 fits 100 payload + header and then 6 payload
+        // bytes of the second SDU after its header.
+        let (segs2, used2) = q.pull(11, 5);
+        assert_eq!(segs2.len(), 1);
+        assert_eq!(segs2[0].len, 6);
+        assert_eq!(used2, 11);
+        assert_eq!(q.queued_bytes(), 94);
+    }
+
+    #[test]
+    fn budget_smaller_than_header_yields_nothing() {
+        let mut q = MlfqQueues::new(1, 128);
+        q.push(sdu(1, 100, 0)).unwrap();
+        let (segs, used) = q.pull(4, 5);
+        assert!(segs.is_empty());
+        assert_eq!(used, 0);
+        assert_eq!(q.len_sdus(), 1);
+    }
+
+    #[test]
+    fn clamps_priority_to_levels() {
+        let mut q = MlfqQueues::fifo(128);
+        q.push(sdu(1, 100, 3)).unwrap(); // clamped to level 0
+        assert_eq!(q.head_priority(), Some(Priority::TOP));
+        let (segs, _) = q.pull(1000, 0);
+        assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn head_priority_tracks_occupancy() {
+        let mut q = MlfqQueues::new(4, 128);
+        assert_eq!(q.head_priority(), None);
+        q.push(sdu(1, 100, 2)).unwrap();
+        assert_eq!(q.head_priority(), Some(Priority(2)));
+        q.push(sdu(2, 100, 1)).unwrap();
+        assert_eq!(q.head_priority(), Some(Priority(1)));
+        let _ = q.pull(10_000, 0);
+        assert_eq!(q.head_priority(), None);
+    }
+}

@@ -1,0 +1,386 @@
+//! RLC Unacknowledged Mode.
+//!
+//! UM "provides unidirectional data transfer and only has a tx buffer"
+//! (§4.4). It is the paper's default mode: no link-layer retransmission,
+//! losses are left to TCP. The moving parts reproduced here:
+//!
+//! * **Transmitter** ([`UmTx`]) — the per-UE MLFQ tx buffer (or legacy
+//!   FIFO), capped at the srsENB default capacity of 128 SDUs (§6.1
+//!   "maximum buffer size of the RLC UM entity is set to the default
+//!   value of srsENB"). Overflow = drop-tail, which the sender's TCP
+//!   perceives as congestion loss — this is precisely the bufferbloat
+//!   interaction the motivation section (§3) studies.
+//! * **Receiver** ([`UmRx`]) — reassembles segmented SDUs; a partial SDU
+//!   whose remaining segments do not arrive within the reassembly window
+//!   is discarded (TS 38.322 t-Reassembly), the §4.4 hazard that makes
+//!   segment promotion necessary.
+
+use std::collections::HashMap;
+
+use outran_pdcp::Priority;
+use outran_simcore::{Dur, Time};
+
+use crate::bsr::BufferStatus;
+use crate::mlfq::MlfqQueues;
+use crate::sdu::{RlcSdu, RlcSegment};
+
+/// UM entity configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct UmConfig {
+    /// MLFQ levels (1 = legacy FIFO).
+    pub mlfq_levels: usize,
+    /// Tx buffer capacity in SDUs (srsENB default 128).
+    pub capacity_sdus: usize,
+    /// RLC+MAC header overhead charged per emitted segment.
+    pub header_bytes: u32,
+    /// Receiver reassembly window (t-Reassembly).
+    pub reassembly_window: Dur,
+    /// §4.4 segmented-SDU promotion.
+    pub promote_segments: bool,
+    /// Priority push-out on overflow (vs drop-tail).
+    pub pushout: bool,
+}
+
+impl Default for UmConfig {
+    fn default() -> Self {
+        UmConfig {
+            mlfq_levels: 4,
+            capacity_sdus: 128,
+            header_bytes: 3,
+            reassembly_window: Dur::from_millis(50),
+            promote_segments: true,
+            pushout: true,
+        }
+    }
+}
+
+impl UmConfig {
+    /// The vanilla srsRAN configuration: one FIFO, no flow scheduling.
+    pub fn legacy() -> UmConfig {
+        UmConfig {
+            mlfq_levels: 1,
+            promote_segments: true, // FIFO keeps partials at head anyway
+            ..UmConfig::default()
+        }
+    }
+}
+
+/// UM transmitting entity for one UE/bearer.
+#[derive(Debug, Clone)]
+pub struct UmTx {
+    cfg: UmConfig,
+    queues: MlfqQueues,
+    /// SDUs dropped at the full buffer (drop-tail), for diagnostics.
+    pub dropped_sdus: u64,
+}
+
+impl UmTx {
+    /// Create a transmitter.
+    pub fn new(cfg: UmConfig) -> UmTx {
+        let mut queues = MlfqQueues::new(cfg.mlfq_levels, cfg.capacity_sdus);
+        queues.set_promote_segments(cfg.promote_segments);
+        queues.set_pushout(cfg.pushout);
+        UmTx {
+            cfg,
+            queues,
+            dropped_sdus: 0,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &UmConfig {
+        &self.cfg
+    }
+
+    /// Enqueue an SDU; `Err` carries the SDU back when the buffer is full
+    /// (the caller treats it as a congestion drop).
+    pub fn write_sdu(&mut self, sdu: RlcSdu) -> Result<(), RlcSdu> {
+        self.queues.push(sdu).map_err(|s| {
+            self.dropped_sdus += 1;
+            s
+        })
+    }
+
+    /// Serve a transmission opportunity of `budget` bytes; returns the
+    /// emitted segments and bytes consumed.
+    pub fn pull(&mut self, budget: u64) -> (Vec<RlcSegment>, u64) {
+        self.queues.pull(budget, self.cfg.header_bytes)
+    }
+
+    /// Buffer status for the MAC (with OutRAN's per-priority occupancy).
+    pub fn buffer_status(&self) -> BufferStatus {
+        BufferStatus {
+            bytes_per_priority: self.queues.bytes_per_priority(),
+            ctrl_and_retx_bytes: 0,
+        }
+    }
+
+    /// The user priority of eq. (2).
+    pub fn head_priority(&self) -> Option<Priority> {
+        self.queues.head_priority()
+    }
+
+    /// Queued bytes.
+    pub fn queued_bytes(&self) -> u64 {
+        self.queues.queued_bytes()
+    }
+
+    /// Queued SDUs.
+    pub fn len_sdus(&self) -> usize {
+        self.queues.len_sdus()
+    }
+
+    /// Whether the tx buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.is_empty()
+    }
+
+    /// Direct access to the MLFQ (used by the AM wrapper and tests).
+    pub fn queues_mut(&mut self) -> &mut MlfqQueues {
+        &mut self.queues
+    }
+
+    /// Oldest head-of-line arrival across the MLFQ (CQA's d_HOL anchor).
+    pub fn oldest_head_arrival(&self) -> Option<Time> {
+        self.queues.oldest_head_arrival()
+    }
+}
+
+/// A fully reassembled SDU delivered up to PDCP/transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeliveredSdu {
+    /// SDU identity.
+    pub sdu_id: u64,
+    /// Flow the SDU belongs to.
+    pub flow_id: u64,
+    /// SDU length in bytes.
+    pub len: u32,
+    /// Transport sequence of the first byte.
+    pub seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    received: u32,
+    next_offset: u32,
+    sdu_len: u32,
+    flow_id: u64,
+    seq: u64,
+    deadline: Time,
+}
+
+/// UM receiving entity (UE side).
+#[derive(Debug, Clone, Default)]
+pub struct UmRx {
+    partials: HashMap<u64, Partial>,
+    /// SDUs discarded because the reassembly window expired (§4.4 hazard).
+    pub discarded_sdus: u64,
+    window: Dur,
+}
+
+impl UmRx {
+    /// Create a receiver with the given reassembly window.
+    pub fn new(window: Dur) -> UmRx {
+        UmRx {
+            partials: HashMap::new(),
+            discarded_sdus: 0,
+            window,
+        }
+    }
+
+    /// Process one arriving segment; returns the SDU if it completed.
+    ///
+    /// Out-of-order or gapped segments within an SDU abort that SDU's
+    /// reassembly (UM has no retransmission to fill gaps — TS 38.322
+    /// discards on reassembly failure).
+    pub fn on_segment(&mut self, seg: &RlcSegment, now: Time) -> Option<DeliveredSdu> {
+        self.expire(now);
+        if seg.is_whole() {
+            return Some(DeliveredSdu {
+                sdu_id: seg.sdu_id,
+                flow_id: seg.flow_id,
+                len: seg.sdu_len,
+                seq: seg.seq,
+            });
+        }
+        let p = self.partials.entry(seg.sdu_id).or_insert(Partial {
+            received: 0,
+            next_offset: 0,
+            sdu_len: seg.sdu_len,
+            flow_id: seg.flow_id,
+            seq: seg.seq - seg.offset as u64,
+            deadline: now + self.window,
+        });
+        if seg.offset != p.next_offset {
+            // Gap (a middle segment was lost): reassembly cannot succeed.
+            self.partials.remove(&seg.sdu_id);
+            self.discarded_sdus += 1;
+            return None;
+        }
+        p.received += seg.len;
+        p.next_offset += seg.len;
+        if p.received == p.sdu_len {
+            let p = self.partials.remove(&seg.sdu_id).unwrap();
+            return Some(DeliveredSdu {
+                sdu_id: seg.sdu_id,
+                flow_id: p.flow_id,
+                len: p.sdu_len,
+                seq: p.seq,
+            });
+        }
+        None
+    }
+
+    /// Drop partials whose reassembly window expired; returns how many
+    /// SDUs were discarded by this sweep.
+    pub fn expire(&mut self, now: Time) -> u64 {
+        let before = self.partials.len();
+        self.partials.retain(|_, p| p.deadline > now);
+        let dropped = (before - self.partials.len()) as u64;
+        self.discarded_sdus += dropped;
+        dropped
+    }
+
+    /// Number of SDUs currently awaiting more segments.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outran_pdcp::FiveTuple;
+
+    fn sdu(id: u64, len: u32, prio: u8) -> RlcSdu {
+        RlcSdu {
+            id,
+            flow_id: id,
+            tuple: FiveTuple::simulated(id, 0),
+            len,
+            offset: 0,
+            priority: Priority(prio),
+            arrival: Time::ZERO,
+            seq: id * 100_000,
+        }
+    }
+
+    #[test]
+    fn whole_sdu_roundtrip() {
+        let mut tx = UmTx::new(UmConfig {
+            header_bytes: 0,
+            ..UmConfig::default()
+        });
+        let mut rx = UmRx::new(Dur::from_millis(50));
+        tx.write_sdu(sdu(1, 1500, 0)).unwrap();
+        let (segs, _) = tx.pull(10_000);
+        assert_eq!(segs.len(), 1);
+        let got = rx.on_segment(&segs[0], Time::ZERO).unwrap();
+        assert_eq!(got.sdu_id, 1);
+        assert_eq!(got.len, 1500);
+        assert_eq!(got.seq, 100_000);
+    }
+
+    #[test]
+    fn segmented_roundtrip() {
+        let mut tx = UmTx::new(UmConfig {
+            header_bytes: 0,
+            ..UmConfig::default()
+        });
+        let mut rx = UmRx::new(Dur::from_millis(50));
+        tx.write_sdu(sdu(1, 3000, 1)).unwrap();
+        let mut delivered = None;
+        let mut t = Time::ZERO;
+        for _ in 0..5 {
+            let (segs, _) = tx.pull(700);
+            for s in &segs {
+                if let Some(d) = rx.on_segment(s, t) {
+                    delivered = Some(d);
+                }
+            }
+            t += Dur::from_millis(1);
+        }
+        let d = delivered.expect("SDU must complete");
+        assert_eq!(d.len, 3000);
+        assert_eq!(rx.discarded_sdus, 0);
+    }
+
+    #[test]
+    fn reassembly_window_discards_stale_partial() {
+        let mut tx = UmTx::new(UmConfig {
+            header_bytes: 0,
+            ..UmConfig::default()
+        });
+        let mut rx = UmRx::new(Dur::from_millis(50));
+        tx.write_sdu(sdu(1, 3000, 0)).unwrap();
+        let (segs, _) = tx.pull(700);
+        assert!(rx.on_segment(&segs[0], Time::ZERO).is_none());
+        assert_eq!(rx.pending(), 1);
+        // Window expires before the rest arrives.
+        rx.expire(Time::from_millis(60));
+        assert_eq!(rx.pending(), 0);
+        assert_eq!(rx.discarded_sdus, 1);
+        // Remaining segments of the dead SDU now open a fresh partial that
+        // can never complete (offset gap) and is discarded immediately.
+        let (segs2, _) = tx.pull(10_000);
+        let mut any = false;
+        for s in &segs2 {
+            any |= rx.on_segment(s, Time::from_millis(61)).is_some();
+        }
+        assert!(!any);
+    }
+
+    #[test]
+    fn gap_aborts_reassembly() {
+        let mut tx = UmTx::new(UmConfig {
+            header_bytes: 0,
+            ..UmConfig::default()
+        });
+        let mut rx = UmRx::new(Dur::from_millis(50));
+        tx.write_sdu(sdu(7, 2100, 0)).unwrap();
+        let (a, _) = tx.pull(700);
+        let (b, _) = tx.pull(700);
+        let (c, _) = tx.pull(700);
+        assert!(rx.on_segment(&a[0], Time::ZERO).is_none());
+        // b lost on the air.
+        let _ = b;
+        assert!(rx.on_segment(&c[0], Time::ZERO).is_none());
+        assert_eq!(rx.discarded_sdus, 1);
+        assert_eq!(rx.pending(), 0);
+    }
+
+    #[test]
+    fn buffer_cap_drops() {
+        let mut tx = UmTx::new(UmConfig {
+            capacity_sdus: 2,
+            ..UmConfig::default()
+        });
+        tx.write_sdu(sdu(1, 100, 0)).unwrap();
+        tx.write_sdu(sdu(2, 100, 0)).unwrap();
+        assert!(tx.write_sdu(sdu(3, 100, 0)).is_err());
+        assert_eq!(tx.dropped_sdus, 1);
+        assert_eq!(tx.len_sdus(), 2);
+    }
+
+    #[test]
+    fn buffer_status_reports_priorities() {
+        let mut tx = UmTx::new(UmConfig::default());
+        tx.write_sdu(sdu(1, 100, 0)).unwrap();
+        tx.write_sdu(sdu(2, 900, 2)).unwrap();
+        let bs = tx.buffer_status();
+        assert_eq!(bs.bytes_per_priority, vec![100, 0, 900, 0]);
+        assert_eq!(bs.total(), 1000);
+        assert_eq!(bs.head_priority(), Some(Priority(0)));
+        assert_eq!(tx.head_priority(), Some(Priority(0)));
+    }
+
+    #[test]
+    fn legacy_config_is_fifo() {
+        let mut tx = UmTx::new(UmConfig::legacy());
+        tx.write_sdu(sdu(1, 100, 3)).unwrap();
+        tx.write_sdu(sdu(2, 100, 0)).unwrap();
+        let (segs, _) = tx.pull(10_000);
+        let ids: Vec<u64> = segs.iter().map(|s| s.sdu_id).collect();
+        assert_eq!(ids, vec![1, 2], "legacy FIFO must not reorder");
+    }
+}

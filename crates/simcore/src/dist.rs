@@ -1,0 +1,312 @@
+//! Samplers for the stochastic processes used in the evaluation.
+//!
+//! * [`Exponential`] — inter-arrival times of the Poisson flow-arrival
+//!   processes used in §3, §6.1 and §6.2 of the paper.
+//! * [`Poisson`] — counting distribution (used for burst sizing in the
+//!   incast case study).
+//! * [`Normal`] — Box–Muller; log-normal shadowing in the channel model.
+//! * [`Empirical`] — inverse-CDF sampling of tabulated flow-size
+//!   distributions (the LTE cellular distribution of Huang et al. \[41\],
+//!   MIRAGE mobile-app \[12\], websearch \[13\]) with log-linear interpolation
+//!   between knots, which matches how heavy-tailed size CDFs are usually
+//!   digitised from published figures.
+
+use crate::rng::Rng;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Create with rate `lambda` (> 0) events per unit.
+    pub fn new(lambda: f64) -> Exponential {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda={lambda}");
+        Exponential { lambda }
+    }
+
+    /// Create from the mean inter-arrival instead of the rate.
+    pub fn from_mean(mean: f64) -> Exponential {
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        -rng.f64_open().ln() / self.lambda
+    }
+}
+
+/// Poisson counting distribution with mean `lambda`.
+///
+/// Uses Knuth's product method for small means and a normal approximation
+/// above `lambda = 64` (counts in our workloads are small, so the
+/// approximation path is rarely taken and accuracy there is not critical).
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Create with mean `lambda` (> 0).
+    pub fn new(lambda: f64) -> Poisson {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda={lambda}");
+        Poisson { lambda }
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.lambda < 64.0 {
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.f64();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let n = Normal::new(self.lambda, self.lambda.sqrt());
+            n.sample(rng).round().max(0.0) as u64
+        }
+    }
+}
+
+/// Normal distribution via Box–Muller (one value per draw; the antithetic
+/// twin is discarded to keep the sampler stateless).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Create with the given mean and standard deviation (sd >= 0).
+    pub fn new(mean: f64, sd: f64) -> Normal {
+        assert!(sd >= 0.0 && sd.is_finite(), "sd={sd}");
+        Normal { mean, sd }
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        let u1 = rng.f64_open();
+        let u2 = rng.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.sd * z
+    }
+}
+
+/// Empirical distribution defined by CDF knots `(value, cum_prob)`.
+///
+/// Sampling inverts the CDF; between knots the value is interpolated
+/// **geometrically** (linear in `log(value)`), which is the natural
+/// interpolation for the heavy-tailed, orders-of-magnitude-spanning flow
+/// size distributions in Figure 2(a) of the paper.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    /// (value, cumulative probability), strictly increasing in both.
+    knots: Vec<(f64, f64)>,
+}
+
+impl Empirical {
+    /// Build from CDF knots. Requirements (checked):
+    /// values > 0 and strictly increasing; probabilities strictly
+    /// increasing, within (0, 1]; last probability == 1.0.
+    pub fn from_cdf(knots: &[(f64, f64)]) -> Empirical {
+        assert!(knots.len() >= 2, "need at least two CDF knots");
+        for w in knots.windows(2) {
+            assert!(w[0].0 < w[1].0, "values must increase: {w:?}");
+            assert!(w[0].1 < w[1].1, "probs must increase: {w:?}");
+        }
+        for &(v, p) in knots {
+            assert!(v > 0.0, "values must be positive, got {v}");
+            assert!(p > 0.0 && p <= 1.0, "probs in (0,1], got {p}");
+        }
+        let last = knots.last().unwrap();
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "last knot must close the CDF at 1.0, got {}",
+            last.1
+        );
+        Empirical {
+            knots: knots.to_vec(),
+        }
+    }
+
+    /// Draw one sample by inverse-CDF with log-linear interpolation.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        self.quantile(rng.f64())
+    }
+
+    /// The value at cumulative probability `p` (0 ≤ p ≤ 1).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        let first = self.knots[0];
+        if p <= first.1 {
+            // Below the first knot: interpolate from a nominal minimum one
+            // decade below the first knot value.
+            let lo_v = first.0 * 0.1;
+            let f = p / first.1;
+            return (lo_v.ln() + f * (first.0.ln() - lo_v.ln())).exp();
+        }
+        for w in self.knots.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if p <= p1 {
+                let f = (p - p0) / (p1 - p0);
+                return (v0.ln() + f * (v1.ln() - v0.ln())).exp();
+            }
+        }
+        self.knots.last().unwrap().0
+    }
+
+    /// The CDF evaluated at `v` (inverse of [`Empirical::quantile`]).
+    pub fn cdf(&self, v: f64) -> f64 {
+        let first = self.knots[0];
+        if v <= first.0 * 0.1 {
+            return 0.0;
+        }
+        if v <= first.0 {
+            let lo_v = first.0 * 0.1;
+            let f = (v.ln() - lo_v.ln()) / (first.0.ln() - lo_v.ln());
+            return f * first.1;
+        }
+        for w in self.knots.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if v <= v1 {
+                let f = (v.ln() - v0.ln()) / (v1.ln() - v0.ln());
+                return p0 + f * (p1 - p0);
+            }
+        }
+        1.0
+    }
+
+    /// Mean of the interpolated distribution, computed by numerical
+    /// integration of the quantile function (10k-point midpoint rule —
+    /// plenty for workload-calibration purposes).
+    pub fn mean(&self) -> f64 {
+        let n = 10_000;
+        (0..n)
+            .map(|i| self.quantile((i as f64 + 0.5) / n as f64))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// The knots this distribution was built from.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::from_mean(0.25);
+        let mut rng = Rng::new(1);
+        let n = 200_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005, "mean={mean}");
+        assert!((d.lambda() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let d = Exponential::new(1000.0);
+        let mut rng = Rng::new(2);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let d = Poisson::new(3.0);
+        let mut rng = Rng::new(3);
+        let n = 100_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_path() {
+        let d = Poisson::new(400.0);
+        let mut rng = Rng::new(4);
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 400.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(5.0, 2.0);
+        let mut rng = Rng::new(5);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.02, "mean={mean}");
+        assert!((var - 4.0).abs() < 0.1, "var={var}");
+    }
+
+    fn toy_cdf() -> Empirical {
+        Empirical::from_cdf(&[(1e3, 0.5), (1e4, 0.9), (1e6, 1.0)])
+    }
+
+    #[test]
+    fn empirical_quantile_hits_knots() {
+        let d = toy_cdf();
+        assert!((d.quantile(0.5) - 1e3).abs() < 1e-6);
+        assert!((d.quantile(0.9) - 1e4).abs() < 1e-6);
+        assert!((d.quantile(1.0) - 1e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empirical_cdf_inverts_quantile() {
+        let d = toy_cdf();
+        for p in [0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.999] {
+            let v = d.quantile(p);
+            assert!((d.cdf(v) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn empirical_sampling_matches_cdf() {
+        let d = toy_cdf();
+        let mut rng = Rng::new(6);
+        let n = 100_000;
+        let below_1k = (0..n).filter(|_| d.sample(&mut rng) <= 1e3).count();
+        let frac = below_1k as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "frac={frac}");
+    }
+
+    #[test]
+    fn empirical_mean_is_heavier_than_median() {
+        // Heavy tail: mean far above the median.
+        let d = toy_cdf();
+        let mean = d.mean();
+        assert!(mean > 5e3, "mean={mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empirical_rejects_unsorted() {
+        let _ = Empirical::from_cdf(&[(1e4, 0.5), (1e3, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empirical_rejects_open_cdf() {
+        let _ = Empirical::from_cdf(&[(1e3, 0.5), (1e4, 0.9)]);
+    }
+}

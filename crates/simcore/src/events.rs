@@ -1,0 +1,164 @@
+//! A monotonic event queue with stable ordering for simultaneous events.
+//!
+//! The cell simulator is clocked: the xNodeB MAC runs every TTI. But flow
+//! arrivals, TCP timers and wired-link deliveries happen at arbitrary
+//! instants between TTIs. [`EventQueue`] merges both worlds: the main loop
+//! drains all events up to the next TTI boundary, runs the TTI, repeats.
+//!
+//! Events scheduled for the same instant pop in FIFO order (insertion
+//! order), which keeps runs reproducible regardless of heap internals.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Key(Time, u64);
+
+/// Priority queue of `(Time, E)` pairs, popping earliest-first and FIFO
+/// within an instant.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, EventBox<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper so `E` does not need `Ord`; ordering is fully determined by the
+/// key, and the payload comparison is never reached.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `event` at `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        let key = Key(at, self.seq);
+        self.seq += 1;
+        self.heap.push(Reverse((key, EventBox(event))));
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((Key(t, _), _))| *t)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse((Key(t, _), EventBox(e)))| (t, e))
+    }
+
+    /// Pop the earliest event only if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Dur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_millis(5), "c");
+        q.schedule(Time::from_millis(1), "a");
+        q.schedule(Time::from_millis(3), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        let t = Time::from_millis(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_millis(10), "later");
+        q.schedule(Time::from_millis(1), "soon");
+        assert_eq!(q.pop_due(Time::from_millis(5)).map(|(_, e)| e), Some("soon"));
+        assert_eq!(q.pop_due(Time::from_millis(5)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_due(Time::from_millis(10)).map(|(_, e)| e),
+            Some("later")
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::from_millis(2), ());
+        q.schedule(Time::from_millis(2) + Dur::from_nanos(1), ());
+        assert_eq!(q.peek_time(), Some(Time::from_millis(2)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_millis(2));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_millis(4), 4);
+        q.schedule(Time::from_millis(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        q.schedule(Time::from_millis(1), 1); // earlier than remaining
+        q.schedule(Time::from_millis(3), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 4);
+    }
+}

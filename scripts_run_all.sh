@@ -1,0 +1,11 @@
+#!/bin/bash
+# Regenerate every table/figure; tee outputs to results/.
+cd /root/repo
+for b in table1_qos table2_quic fig2_distributions fig3_motivation fig4_sideeffects \
+         fig7_poc fig8_epsilon fig12_plt fig13_overhead fig14_rb_scaling \
+         fig15_lte_fct fig16_se_fairness fig17_5g_impact fig18a_tf fig18b_ablation \
+         fig18c_am fig18d_reset fig19_colosseum fig20_5g_fct harq_study ablation_design; do
+  echo "=== running $b ==="
+  ./target/release/$b > results/$b.txt 2> results/$b.log || echo "FAILED: $b"
+done
+echo ALL_DONE

@@ -1,0 +1,261 @@
+//! End-to-end integration tests: the paper's headline orderings must
+//! hold on small-but-contended cells, across the crate boundary exactly
+//! as a downstream user would drive the library.
+
+use outran::core::OutRanConfig;
+use outran::phy::numerology::RadioConfig;
+use outran::ran::cell::{Cell, CellConfig, RlcMode, SchedulerKind};
+use outran::simcore::{Dur, Rng, Time};
+use outran::workload::{FlowSizeDist, PoissonFlowGen};
+
+/// A small contended cell: 6 UEs, 25 RBs, LTE traffic at the given load.
+fn contended_cell(kind: SchedulerKind, seed: u64, load: f64) -> Cell {
+    let mut cfg = CellConfig::lte_default(6, kind, seed);
+    cfg.channel.radio = RadioConfig::lte_rbs(25);
+    cfg.channel.n_subbands = 4;
+    let mut cell = Cell::new(cfg);
+    // 25 RBs ≈ 25 Mbps nominal capacity.
+    let mut gen = PoissonFlowGen::new(
+        FlowSizeDist::LteCellular,
+        load,
+        25e6,
+        6,
+        Rng::new(seed ^ 0xFEED),
+    );
+    for a in gen.take_until(Time::from_secs(8)) {
+        cell.schedule_flow(a.at, a.ue, a.bytes, None);
+    }
+    cell
+}
+
+fn run(kind: SchedulerKind, seed: u64, load: f64) -> (f64, f64, f64, f64) {
+    let mut cell = contended_cell(kind, seed, load);
+    cell.run_until(Time::from_secs(11));
+    let report = cell.fct.report();
+    (
+        report.short_mean_ms,
+        report.short_p95_ms,
+        cell.metrics.spectral_efficiency(),
+        cell.metrics.mean_fairness(),
+    )
+}
+
+#[test]
+fn outran_improves_short_tail_over_pf() {
+    // Averaged across seeds to smooth the heavy-tailed noise.
+    let seeds = [3u64, 5, 9];
+    let mut pf_tail = 0.0;
+    let mut or_tail = 0.0;
+    for &s in &seeds {
+        pf_tail += run(SchedulerKind::Pf, s, 0.75).1;
+        or_tail += run(SchedulerKind::OutRan, s, 0.75).1;
+    }
+    assert!(
+        or_tail < pf_tail,
+        "OutRAN short p95 sum {or_tail:.1} must beat PF {pf_tail:.1}"
+    );
+}
+
+#[test]
+fn outran_preserves_pf_spectral_efficiency() {
+    let seeds = [3u64, 5];
+    let mut pf_se = 0.0;
+    let mut or_se = 0.0;
+    for &s in &seeds {
+        pf_se += run(SchedulerKind::Pf, s, 0.6).2;
+        or_se += run(SchedulerKind::OutRan, s, 0.6).2;
+    }
+    // Paper: ≥98 %. Allow slack for the small test cell.
+    assert!(
+        or_se > 0.85 * pf_se,
+        "OutRAN SE {or_se:.2} must stay close to PF {pf_se:.2}"
+    );
+}
+
+#[test]
+fn srjf_costs_fairness_vs_pf() {
+    let seeds = [3u64, 5, 9];
+    let mut pf_f = 0.0;
+    let mut srjf_f = 0.0;
+    for &s in &seeds {
+        pf_f += run(SchedulerKind::Pf, s, 0.75).3;
+        srjf_f += run(SchedulerKind::Srjf, s, 0.75).3;
+    }
+    assert!(
+        srjf_f < pf_f,
+        "SRJF fairness {srjf_f:.3} must be below PF {pf_f:.3}"
+    );
+}
+
+#[test]
+fn identical_seeds_identical_results() {
+    let a = run(SchedulerKind::OutRan, 7, 0.6);
+    let b = run(SchedulerKind::OutRan, 7, 0.6);
+    assert_eq!(a, b, "simulation must be bit-for-bit deterministic");
+}
+
+#[test]
+fn every_scheduler_completes_the_workload() {
+    for kind in [
+        SchedulerKind::Pf,
+        SchedulerKind::Mt,
+        SchedulerKind::Rr,
+        SchedulerKind::Srjf,
+        SchedulerKind::Pss,
+        SchedulerKind::Cqa,
+        SchedulerKind::OutRan,
+        SchedulerKind::StrictMlfq,
+    ] {
+        let mut cell = contended_cell(kind, 11, 0.4);
+        let offered = cell.n_flows();
+        cell.run_until(Time::from_secs(14));
+        let completed = cell.n_completed();
+        assert!(
+            completed as f64 >= offered as f64 * 0.85,
+            "{}: only {completed}/{offered} flows completed",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn am_mode_works_with_outran_and_pf() {
+    for kind in [SchedulerKind::Pf, SchedulerKind::OutRan] {
+        let mut cfg = CellConfig::lte_default(4, kind, 13);
+        cfg.channel.radio = RadioConfig::lte_rbs(25);
+        cfg.channel.n_subbands = 4;
+        cfg.rlc_mode = RlcMode::Am;
+        cfg.residual_loss = 0.02; // force the NACK path to matter
+        let mut cell = Cell::new(cfg);
+        for i in 0..10u64 {
+            cell.schedule_flow(
+                Time::from_millis(10 + i * 60),
+                (i % 4) as usize,
+                40_000,
+                None,
+            );
+        }
+        cell.run_until(Time::from_secs(12));
+        assert_eq!(cell.n_completed(), 10, "{} AM", kind.name());
+    }
+}
+
+#[test]
+fn priority_reset_protects_long_flows() {
+    // With a huge number of shorts hammering one UE's elephant, the
+    // reset must shorten the elephant's completion relative to no-reset.
+    let run_with = |reset: Option<Dur>| -> f64 {
+        let mut cfg = CellConfig::lte_default(4, SchedulerKind::OutRan, 21);
+        cfg.channel.radio = RadioConfig::lte_rbs(25);
+        cfg.channel.n_subbands = 4;
+        cfg.outran = OutRanConfig {
+            reset_period: reset,
+            ..OutRanConfig::default()
+        };
+        let mut cell = Cell::new(cfg);
+        let elephant = cell.schedule_flow(Time::from_millis(5), 0, 2_000_000, None);
+        // Persistent stream of shorts to the same UE.
+        for i in 0..400u64 {
+            cell.schedule_flow(Time::from_millis(20 + i * 20), 0, 6_000, None);
+        }
+        cell.run_until(Time::from_secs(20));
+        cell.take_completions()
+            .iter()
+            .find(|d| d.id == elephant)
+            .map(|d| d.fct.as_millis_f64())
+            .unwrap_or(f64::INFINITY)
+    };
+    let without = run_with(None);
+    let with = run_with(Some(Dur::from_millis(200)));
+    assert!(
+        with <= without * 1.05,
+        "reset must not hurt the elephant: with={with:.0}ms without={without:.0}ms"
+    );
+}
+
+#[test]
+fn handover_state_transfer_preserves_priorities() {
+    use outran::pdcp::{FiveTuple, FlowTable, MlfqConfig, Priority};
+    // §7: the 41 B/flow state can be copied to the target cell.
+    let mut src = FlowTable::new(MlfqConfig::default());
+    let t = FiveTuple::simulated(1, 0);
+    src.observe(t, 500_000, Time::ZERO);
+    assert_ne!(src.priority_of(&t), Priority::TOP);
+    let mut dst = FlowTable::new(MlfqConfig::default());
+    dst.import(&src.export(), Time::from_secs(1));
+    assert_eq!(
+        dst.priority_of(&t),
+        src.priority_of(&t),
+        "an elephant must stay demoted after handover"
+    );
+    assert_eq!(dst.state_bytes(), 41);
+}
+
+#[test]
+fn flow_splitting_cannot_game_the_scheduler() {
+    // §7 "Safeguard to prevent gaming": splitting one elephant into many
+    // short flows must not buy a user materially more than it buys under
+    // plain PF. (Splitting helps under ANY scheduler — parallel TCP
+    // connections dodge single-connection loss stalls, the download-
+    // accelerator effect — so the property to check is that OutRAN does
+    // not AMPLIFY that advantage beyond the bounded ε-band effect.)
+    // UE 0 ships 2 MB either whole or as 40 x 50 KB concurrent flows
+    // while UE 1 runs a competing elephant.
+    let run1 = |kind: SchedulerKind, split: bool, seed: u64| -> f64 {
+        let mut cfg = CellConfig::lte_default(2, kind, seed);
+        cfg.channel.radio = RadioConfig::lte_rbs(25);
+        cfg.channel.n_subbands = 4;
+        let mut cell = Cell::new(cfg);
+        // The victim: a long-running elephant on UE 1.
+        cell.schedule_flow(Time::from_millis(5), 1, 2_000_000, None);
+        let mut ids = Vec::new();
+        if split {
+            for i in 0..40u64 {
+                ids.push(cell.schedule_flow(
+                    Time::from_millis(5 + i), // near-simultaneous burst
+                    0,
+                    50_000,
+                    None,
+                ));
+            }
+        } else {
+            ids.push(cell.schedule_flow(Time::from_millis(5), 0, 2_000_000, None));
+        }
+        cell.run_until(Time::from_secs(30));
+        let done = cell.take_completions();
+        // Time until UE 0's last byte: max completion over its flows.
+        ids.iter()
+            .map(|id| {
+                done.iter()
+                    .find(|d| d.id == *id)
+                    .map(|d| d.spawn.as_millis_f64() + d.fct.as_millis_f64())
+                    .unwrap_or(f64::INFINITY)
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let seeds = [17u64, 29, 53];
+    let gain = |kind: SchedulerKind| -> f64 {
+        let mut acc = 0.0;
+        for &s in &seeds {
+            acc += run1(kind, false, s) / run1(kind, true, s);
+        }
+        acc / seeds.len() as f64
+    };
+    let pf_gain = gain(SchedulerKind::Pf);
+    let or_gain = gain(SchedulerKind::OutRan);
+    assert!(pf_gain.is_finite() && or_gain.is_finite());
+    // Reproduction finding (documented in EXPERIMENTS.md): the §7 claim
+    // that gaming "will not be an issue" is only approximately true. A
+    // splitting user keeps permanent P1 priority, and per-RB rate
+    // dispersion lets it win inside the ε band well past the naive
+    // (1−ε)⁻¹ = 1.25x estimate — we measure ≈2x at ε = 0.2 with two
+    // users. The gain is bounded, but it is real.
+    assert!(
+        or_gain <= 3.0,
+        "split gain should stay bounded: OutRAN {or_gain:.2}x (PF {pf_gain:.2}x)"
+    );
+    assert!(
+        or_gain >= pf_gain * 0.9,
+        "sanity: measured gains should not be wildly inverted (PF {pf_gain:.2}x, OutRAN {or_gain:.2}x)"
+    );
+}

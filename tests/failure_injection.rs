@@ -1,0 +1,97 @@
+//! Failure injection: the simulator must stay sane — no panics, byte
+//! conservation, eventual TCP recovery — under hostile conditions
+//! (heavy residual loss, starved buffers, outage-grade channels).
+
+use outran::phy::numerology::RadioConfig;
+use outran::ran::cell::{Cell, CellConfig, RlcMode, SchedulerKind};
+use outran::simcore::Time;
+
+fn tiny_cell(mutator: impl FnOnce(&mut CellConfig)) -> Cell {
+    let mut cfg = CellConfig::lte_default(4, SchedulerKind::OutRan, 99);
+    cfg.channel.radio = RadioConfig::lte_rbs(25);
+    cfg.channel.n_subbands = 4;
+    mutator(&mut cfg);
+    Cell::new(cfg)
+}
+
+#[test]
+fn survives_heavy_residual_loss() {
+    let mut cell = tiny_cell(|c| c.residual_loss = 0.15);
+    for i in 0..8u64 {
+        cell.schedule_flow(Time::from_millis(10 + i * 50), (i % 4) as usize, 30_000, None);
+    }
+    cell.run_until(Time::from_secs(30));
+    // 15 % segment loss is brutal but TCP must still finish most flows.
+    assert!(
+        cell.n_completed() >= 6,
+        "completed {}/8 under 15% loss",
+        cell.n_completed()
+    );
+}
+
+#[test]
+fn survives_starved_buffer() {
+    let mut cell = tiny_cell(|c| c.buffer_sdus = 4);
+    for i in 0..6u64 {
+        cell.schedule_flow(Time::from_millis(10 + i * 100), (i % 4) as usize, 100_000, None);
+    }
+    cell.run_until(Time::from_secs(40));
+    assert!(cell.buffer_drops > 0, "a 4-SDU buffer must drop");
+    assert!(
+        cell.n_completed() >= 5,
+        "completed {}/6 with 4-SDU buffers",
+        cell.n_completed()
+    );
+}
+
+#[test]
+fn survives_outage_grade_channel() {
+    // Push every UE near the CQI floor: most TTIs carry nothing.
+    let mut cell = tiny_cell(|c| {
+        c.channel.tx_power_dbm = -2.0;
+        c.channel.shadowing_sd_db = 8.0;
+    });
+    cell.schedule_flow(Time::from_millis(10), 0, 20_000, None);
+    // Must not panic; completion is not guaranteed in outage.
+    cell.run_until(Time::from_secs(10));
+}
+
+#[test]
+fn survives_loss_plus_am_retransmission_storm() {
+    let mut cell = tiny_cell(|c| {
+        c.rlc_mode = RlcMode::Am;
+        c.residual_loss = 0.10;
+    });
+    for i in 0..6u64 {
+        cell.schedule_flow(Time::from_millis(10 + i * 80), (i % 4) as usize, 50_000, None);
+    }
+    cell.run_until(Time::from_secs(40));
+    assert!(
+        cell.n_completed() >= 5,
+        "AM must recover: {}/6",
+        cell.n_completed()
+    );
+}
+
+#[test]
+fn idle_cell_runs_forever_without_events() {
+    let mut cell = tiny_cell(|_| {});
+    cell.run_until(Time::from_secs(5));
+    assert_eq!(cell.n_flows(), 0);
+    assert_eq!(cell.metrics.total_bits(), 0.0);
+}
+
+#[test]
+fn burst_of_simultaneous_flows() {
+    // 200 flows landing in the same millisecond (incast at the CN).
+    let mut cell = tiny_cell(|_| {});
+    for i in 0..200u64 {
+        cell.schedule_flow(Time::from_millis(10), (i % 4) as usize, 4_000, None);
+    }
+    cell.run_until(Time::from_secs(30));
+    assert!(
+        cell.n_completed() >= 190,
+        "incast must mostly complete: {}",
+        cell.n_completed()
+    );
+}

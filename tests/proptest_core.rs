@@ -1,0 +1,83 @@
+//! Property tests on the OutRAN policy crate: the threshold optimizer
+//! must produce valid, useful MLFQ configurations for *any* plausible
+//! flow-size distribution, and the priority reset must stay phase-locked.
+
+use outran::core::{optimize_thresholds, PriorityReset};
+use outran::core::thresholds::objective;
+use outran::simcore::{Dur, Empirical, Time};
+use proptest::prelude::*;
+
+/// Build a random but valid heavy-tail-ish CDF from sorted knot values.
+fn cdf_from(mut values: Vec<f64>) -> Option<Empirical> {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values.dedup_by(|a, b| (*a / *b) < 1.2); // keep knots separated
+    if values.len() < 3 {
+        return None;
+    }
+    let n = values.len();
+    let knots: Vec<(f64, f64)> = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect();
+    Some(Empirical::from_cdf(&knots))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Thresholds are strictly increasing, inside the distribution's
+    /// body, and never worse than a naive equal-quantile split.
+    #[test]
+    fn optimizer_output_is_valid_and_competitive(
+        values in prop::collection::vec(100.0f64..1e8, 4..10),
+        load in 0.2f64..0.9,
+        k in 2usize..6,
+    ) {
+        let Some(cdf) = cdf_from(values) else {
+            return Ok(());
+        };
+        let th = optimize_thresholds(&cdf, k, load);
+        prop_assert_eq!(th.len(), k - 1);
+        for w in th.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        let thf: Vec<f64> = th.iter().map(|&t| t as f64).collect();
+        let naive: Vec<f64> = (1..k)
+            .map(|j| cdf.quantile(j as f64 / k as f64).max(101.0 * j as f64))
+            .collect();
+        // Guard against degenerate naive vectors.
+        let naive_ok = naive.windows(2).all(|w| w[0] < w[1]);
+        if naive_ok {
+            prop_assert!(
+                objective(&cdf, &thf, load) <= objective(&cdf, &naive, load) * 1.01,
+                "optimizer must not lose to the naive split"
+            );
+        }
+    }
+
+    /// The reset driver fires exactly floor(T/S) times over a horizon
+    /// when polled every tick, regardless of tick size.
+    #[test]
+    fn reset_fires_expected_count(
+        period_ms in 50u64..2000,
+        tick_ms in 1u64..40,
+        horizon_s in 1u64..10,
+    ) {
+        let mut r = PriorityReset::new(Dur::from_millis(period_ms), Time::ZERO);
+        let mut t = Time::ZERO;
+        let horizon = Time::from_secs(horizon_s);
+        while t < horizon {
+            t += Dur::from_millis(tick_ms);
+            let _ = r.due(t);
+        }
+        let expected = t.as_nanos() / Dur::from_millis(period_ms).as_nanos();
+        // Allow off-by-one at the boundary.
+        prop_assert!(
+            (r.resets as i64 - expected as i64).abs() <= 1,
+            "resets={} expected≈{}",
+            r.resets,
+            expected
+        );
+    }
+}
