@@ -5,9 +5,7 @@
 //! ratio over PF stays constant as either dimension grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use outran_mac::{
-    types::FlatRates, OutRanScheduler, PfScheduler, Scheduler, SrjfScheduler, UeTti,
-};
+use outran_mac::{types::FlatRates, OutRanScheduler, PfScheduler, Scheduler, SrjfScheduler, UeTti};
 use outran_pdcp::Priority;
 use outran_simcore::{Dur, Rng, Time};
 
@@ -46,12 +44,7 @@ fn bench_rb_scaling(c: &mut Criterion) {
             })
         });
         g.bench_with_input(BenchmarkId::new("OutRAN", rbs), &rbs, |b, _| {
-            let mut s = OutRanScheduler::over_pf(
-                40,
-                Dur::from_secs(1),
-                Dur::from_millis(1),
-                0.2,
-            );
+            let mut s = OutRanScheduler::over_pf(40, Dur::from_secs(1), Dur::from_millis(1), 0.2);
             b.iter(|| {
                 let a = s.allocate(Time::ZERO, &ues, &rates);
                 s.on_served(&a.bits_per_ue);
@@ -73,12 +66,8 @@ fn bench_user_scaling(c: &mut Criterion) {
             b.iter(|| s.allocate(Time::ZERO, &ues, &rates))
         });
         g.bench_with_input(BenchmarkId::new("OutRAN", n_ues), &n_ues, |b, _| {
-            let mut s = OutRanScheduler::over_pf(
-                n_ues,
-                Dur::from_secs(1),
-                Dur::from_millis(1),
-                0.2,
-            );
+            let mut s =
+                OutRanScheduler::over_pf(n_ues, Dur::from_secs(1), Dur::from_millis(1), 0.2);
             b.iter(|| s.allocate(Time::ZERO, &ues, &rates))
         });
         g.bench_with_input(BenchmarkId::new("SRJF", n_ues), &n_ues, |b, _| {

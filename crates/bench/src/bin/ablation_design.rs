@@ -17,6 +17,8 @@ use outran_metrics::table::f1;
 use outran_metrics::Table;
 use outran_ran::{Experiment, SchedulerKind};
 
+type CfgMod = Box<dyn Fn(&mut OutRanConfig)>;
+
 fn run(cfgmod: impl Fn(&mut OutRanConfig) + Copy) -> outran_bench::AvgReport {
     run_avg(
         |seed| {
@@ -37,9 +39,16 @@ fn run(cfgmod: impl Fn(&mut OutRanConfig) + Copy) -> outran_bench::AvgReport {
 fn main() {
     let mut t = Table::new(
         "OutRAN design ablations (LTE, 40 UEs, load 0.7)",
-        &["variant", "S avg(ms)", "S p95(ms)", "M avg(ms)", "L avg(ms)", "overall(ms)"],
+        &[
+            "variant",
+            "S avg(ms)",
+            "S p95(ms)",
+            "M avg(ms)",
+            "L avg(ms)",
+            "overall(ms)",
+        ],
     );
-    let cases: Vec<(&str, Box<dyn Fn(&mut OutRanConfig)>)> = vec![
+    let cases: Vec<(&str, CfgMod)> = vec![
         ("full OutRAN", Box::new(|_: &mut OutRanConfig| {})),
         (
             "no segment promotion",
@@ -51,9 +60,7 @@ fn main() {
         ),
         (
             "naive log-split thresholds",
-            Box::new(|c: &mut OutRanConfig| {
-                c.thresholds = Some(vec![1_000, 31_623, 1_000_000])
-            }),
+            Box::new(|c: &mut OutRanConfig| c.thresholds = Some(vec![1_000, 31_623, 1_000_000])),
         ),
         (
             "K=2 queues",
@@ -79,8 +86,9 @@ fn main() {
             "K=8 queues",
             Box::new(|c: &mut OutRanConfig| {
                 c.mlfq_queues = 8;
-                c.thresholds =
-                    Some(vec![4_000, 16_000, 64_000, 256_000, 1_000_000, 4_000_000, 16_000_000]);
+                c.thresholds = Some(vec![
+                    4_000, 16_000, 64_000, 256_000, 1_000_000, 4_000_000, 16_000_000,
+                ]);
             }),
         ),
     ];

@@ -72,12 +72,7 @@ fn main() {
     for n in [1_000usize, 2_000, 4_000, 8_000] {
         let pf = saturated_throughput(SchedulerKind::Pf, n);
         let or = saturated_throughput(SchedulerKind::OutRan, n);
-        t2.row(&[
-            n.to_string(),
-            f1(pf),
-            f1(or),
-            f2(100.0 * (pf - or) / pf),
-        ]);
+        t2.row(&[n.to_string(), f1(pf), f1(or), f2(100.0 * (pf - or) / pf)]);
         eprintln!("  [fig13] {n} flows done");
     }
     t2.print();

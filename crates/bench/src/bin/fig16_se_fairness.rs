@@ -22,7 +22,7 @@ fn main() {
             let r = run_avg(
                 |seed| {
                     Experiment::lte_default()
-            .srjf_mode(outran_mac::SrjfMode::WinnerOnly)
+                        .srjf_mode(outran_mac::SrjfMode::WinnerOnly)
                         .users(40)
                         .load(load)
                         .duration_secs(20)

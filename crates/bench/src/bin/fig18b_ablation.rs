@@ -15,7 +15,13 @@ use outran_simcore::Dur;
 fn main() {
     let mut t = Table::new(
         "Fig 18(b): ablation — normalized avg FCT (vs legacy at each T_f)",
-        &["T_f", "legacy(ms)", "legacy", "+intra (e=0)", "OutRAN (e=0.2)"],
+        &[
+            "T_f",
+            "legacy(ms)",
+            "legacy",
+            "+intra (e=0)",
+            "OutRAN (e=0.2)",
+        ],
     );
     let cases: [(&str, Option<Dur>); 5] = [
         ("10ms", Some(Dur::from_millis(10))),

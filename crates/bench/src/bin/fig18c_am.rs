@@ -33,9 +33,18 @@ fn main() {
         }
     }
     println!("\nsummary:");
-    println!("  {:<12} {:>10} {:>10} {:>12}", "config", "S avg(ms)", "S p95(ms)", "overall(ms)");
+    println!(
+        "  {:<12} {:>10} {:>10} {:>12}",
+        "config", "S avg(ms)", "S p95(ms)", "overall(ms)"
+    );
     for (label, avg, p95, overall) in summary {
-        println!("  {:<12} {:>10} {:>10} {:>12}", label, f1(avg), f1(p95), f1(overall));
+        println!(
+            "  {:<12} {:>10} {:>10} {:>12}",
+            label,
+            f1(avg),
+            f1(p95),
+            f1(overall)
+        );
     }
     println!(
         "\npaper: AM+PF is the worst tail; AM+OutRAN beats even UM+PF;\n\

@@ -78,11 +78,7 @@ fn main() {
         ("0.1s", Some(Dur::from_millis(100))),
     ] {
         let (s, l) = avg(SchedulerKind::OutRan, reset);
-        t.row(&[
-            format!("OutRAN {label}"),
-            f2(s / pf_s),
-            f2(l / pf_l),
-        ]);
+        t.row(&[format!("OutRAN {label}"), f2(s / pf_s), f2(l / pf_l)]);
         eprintln!("  [fig18d] S={label} done");
     }
     t.print();

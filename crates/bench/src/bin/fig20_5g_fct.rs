@@ -16,7 +16,11 @@ fn main() {
         "Fig 20(b): 5G spectral efficiency / fairness",
         &["scheduler", "load", "SE", "fairness"],
     );
-    for kind in [SchedulerKind::Pf, SchedulerKind::Srjf, SchedulerKind::OutRan] {
+    for kind in [
+        SchedulerKind::Pf,
+        SchedulerKind::Srjf,
+        SchedulerKind::OutRan,
+    ] {
         let mut row = vec![kind.name()];
         for load in [0.4, 0.5, 0.6, 0.7, 0.8] {
             let r = run_avg(
@@ -30,8 +34,7 @@ fn main() {
                 &SEEDS,
             );
             row.push(f1(r.overall_mean_ms));
-            if (load - 0.4).abs() < 1e-9 || (load - 0.6).abs() < 1e-9 || (load - 0.8).abs() < 1e-9
-            {
+            if (load - 0.4).abs() < 1e-9 || (load - 0.6).abs() < 1e-9 || (load - 0.8).abs() < 1e-9 {
                 sf.row(&[
                     kind.name(),
                     format!("{load:.1}"),

@@ -31,7 +31,13 @@ fn main() {
 
     let mut t = Table::new(
         "Fig 3(a) normalized short FCT",
-        &["scheduler", "S avg (norm)", "S p99 (norm)", "S avg (ms)", "S p99 (ms)"],
+        &[
+            "scheduler",
+            "S avg (norm)",
+            "S p99 (norm)",
+            "S avg (ms)",
+            "S p99 (ms)",
+        ],
     );
     for r in [&srjf, &pf] {
         t.row(&[
@@ -43,9 +49,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "paper: SRJF ≈ 0.65 avg / 0.41 p99 relative to PF\n"
-    );
+    println!("paper: SRJF ≈ 0.65 avg / 0.41 p99 relative to PF\n");
 
     println!("Figure 3(b): per-user buffer sensitivity (short FCT, normalized to PF x1)\n");
     let mut t2 = Table::new(

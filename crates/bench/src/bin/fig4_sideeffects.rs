@@ -10,7 +10,7 @@ fn main() {
     let build = |kind: SchedulerKind| {
         move |seed: u64| {
             Experiment::lte_default()
-            .srjf_mode(outran_mac::SrjfMode::WinnerOnly)
+                .srjf_mode(outran_mac::SrjfMode::WinnerOnly)
                 .users(40)
                 .load(0.7)
                 .duration_secs(20)

@@ -11,7 +11,13 @@ use outran_ran::{Experiment, SchedulerKind};
 fn main() {
     let mut t = Table::new(
         "Fig 8: OutRAN sensitivity to epsilon (LTE, load 0.6)",
-        &["epsilon", "SE (bit/s/Hz)", "fairness", "S avg (ms)", "S p95 (ms)"],
+        &[
+            "epsilon",
+            "SE (bit/s/Hz)",
+            "fairness",
+            "S avg (ms)",
+            "S p95 (ms)",
+        ],
     );
     for eps in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0] {
         let r = run_avg(

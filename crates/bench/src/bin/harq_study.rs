@@ -27,10 +27,7 @@ fn main() {
         ],
     );
     let mut ratios = Vec::new();
-    for (label, harq) in [
-        ("folded", None),
-        ("explicit", Some(HarqConfig::default())),
-    ] {
+    for (label, harq) in [("folded", None), ("explicit", Some(HarqConfig::default()))] {
         let mut tails = Vec::new();
         for kind in [SchedulerKind::Pf, SchedulerKind::OutRan] {
             let r = run_avg(

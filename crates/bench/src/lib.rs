@@ -49,6 +49,14 @@ pub struct AvgReport {
     pub mean_rtt_ms: f64,
     /// Total completed flows across seeds.
     pub completed: usize,
+    /// Total SDUs dropped at full RLC buffers across seeds.
+    pub buffer_drops: u64,
+    /// Total post-HARQ segment losses across seeds.
+    pub residual_losses: u64,
+    /// Total injected-fault / recovery events across seeds.
+    pub fault_events: u64,
+    /// Total invariant violations across seeds (should be 0).
+    pub violations: u64,
     /// The individual reports (for CDFs etc.).
     pub runs: Vec<ExperimentReport>,
 }
@@ -81,6 +89,10 @@ pub fn run_avg(build: impl Fn(u64) -> Experiment, seeds: &[u64]) -> AvgReport {
         short_qdelay_ms: mean(&|r| r.short_qdelay_ms),
         mean_rtt_ms: mean(&|r| r.mean_rtt_ms),
         completed: runs.iter().map(|r| r.fct.count).sum(),
+        buffer_drops: runs.iter().map(|r| r.buffer_drops).sum(),
+        residual_losses: runs.iter().map(|r| r.residual_losses).sum(),
+        fault_events: runs.iter().map(|r| r.fault_stats.total_events()).sum(),
+        violations: runs.iter().map(|r| r.total_violations).sum(),
         runs,
     }
 }
@@ -111,6 +123,28 @@ impl AvgReport {
             "L avg(ms)",
             "SE(b/s/Hz)",
             "fairness",
+        ]
+    }
+
+    /// Loss/fault-health row: drops, losses, fault events, violations.
+    pub fn health_row(&self) -> Vec<String> {
+        vec![
+            self.scheduler.clone(),
+            self.buffer_drops.to_string(),
+            self.residual_losses.to_string(),
+            self.fault_events.to_string(),
+            self.violations.to_string(),
+        ]
+    }
+
+    /// Headers matching [`AvgReport::health_row`].
+    pub fn health_headers() -> Vec<&'static str> {
+        vec![
+            "scheduler",
+            "buffer drops",
+            "residual losses",
+            "fault events",
+            "violations",
         ]
     }
 }

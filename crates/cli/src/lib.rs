@@ -9,10 +9,11 @@
 #![warn(missing_docs)]
 
 use outran_core::OutRanConfig;
+use outran_faults::FaultPlan;
 use outran_mac::SrjfMode;
 use outran_phy::harq::HarqConfig;
 use outran_phy::Scenario;
-use outran_ran::{Experiment, RlcMode, SchedulerKind};
+use outran_ran::{Experiment, ExperimentReport, RlcMode, SchedulerKind};
 use outran_simcore::Dur;
 use outran_workload::FlowSizeDist;
 
@@ -21,7 +22,12 @@ pub const HELP: &str = "\
 outran-sim — OutRAN cell simulator (CoNEXT'22 reproduction)
 
 USAGE:
-  outran-sim [FLAGS]
+  outran-sim [run] [FLAGS]      standard experiment report
+  outran-sim chaos [FLAGS]      same run under a seeded fault plan, with
+                                invariant auditing and a recovery summary
+
+CHAOS FLAGS:
+  --intensity X   fault-plan density, 0 (none) to 1 (hostile)   [0.5]
 
 FLAGS (flag value  or  flag=value):
   --scheduler K   pf | mt | rr | bet | mlwdf | srjf | pss | cqa | outran | strict-mlfq
@@ -47,9 +53,23 @@ FLAGS (flag value  or  flag=value):
   -h, --help      this text
 ";
 
+/// Which subcommand to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Command {
+    /// Standard experiment (the default).
+    #[default]
+    Run,
+    /// Experiment under a seeded chaos fault plan with auditing.
+    Chaos,
+}
+
 /// Parsed options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Opts {
+    /// Subcommand.
+    pub command: Command,
+    /// Chaos fault-plan intensity in [0, 1].
+    pub intensity: f64,
     /// MAC scheduler under test.
     pub scheduler: SchedulerKind,
     /// Radio scenario.
@@ -104,6 +124,8 @@ pub enum CdfSel {
 impl Default for Opts {
     fn default() -> Self {
         Opts {
+            command: Command::Run,
+            intensity: 0.5,
             scheduler: SchedulerKind::OutRan,
             scenario: Scenario::LtePedestrian,
             dist: None,
@@ -129,11 +151,23 @@ impl Default for Opts {
 /// Parse a raw argument list (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts::default();
+    let mut args = args;
+    // Optional leading subcommand (anything not starting with '-').
+    if let Some(first) = args.first() {
+        if !first.starts_with('-') {
+            o.command = match first.as_str() {
+                "run" => Command::Run,
+                "chaos" => Command::Chaos,
+                other => return Err(format!("unknown subcommand '{other}'")),
+            };
+            args = &args[1..];
+        }
+    }
     let mut it = args.iter().peekable();
     // flag=value and flag value are both accepted.
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                          flag: &str,
-                          inline: Option<&str>|
+                      flag: &str,
+                      inline: Option<&str>|
      -> Result<String, String> {
         if let Some(v) = inline {
             return Ok(v.to_string());
@@ -179,18 +213,22 @@ pub fn parse_args(args: &[String]) -> Result<Opts, String> {
             }
             "--buffer" => o.buffer = parse_num(&next_value(&mut it, flag, inline)?, flag)?,
             "--tf-ms" => {
-                o.tf = Dur::from_millis(parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64)
+                o.tf =
+                    Dur::from_millis(parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64)
             }
             "--cn-ms" => {
-                o.cn = Dur::from_millis(parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64)
+                o.cn =
+                    Dur::from_millis(parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64)
             }
             "--epsilon" => o.epsilon = parse_f64(&next_value(&mut it, flag, inline)?, flag)?,
             "--reset-ms" => {
-                o.reset = Some(Dur::from_millis(
-                    parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64,
-                ))
+                o.reset = Some(Dur::from_millis(parse_num(
+                    &next_value(&mut it, flag, inline)?,
+                    flag,
+                )? as u64))
             }
             "--harq" => o.harq = true,
+            "--intensity" => o.intensity = parse_f64(&next_value(&mut it, flag, inline)?, flag)?,
             "--loss" => o.loss = parse_f64(&next_value(&mut it, flag, inline)?, flag)?,
             "--srjf-mode" => {
                 o.srjf_mode = match next_value(&mut it, flag, inline)?.as_str() {
@@ -224,14 +262,18 @@ pub fn parse_args(args: &[String]) -> Result<Opts, String> {
     if o.users == 0 {
         return Err("--users must be at least 1".into());
     }
+    if !(0.0..=1.0).contains(&o.intensity) {
+        return Err(format!(
+            "--intensity must be in [0, 1], got {}",
+            o.intensity
+        ));
+    }
     Ok(o)
 }
 
 fn parse_scheduler(v: &str) -> Result<SchedulerKind, String> {
     if let Some(eps) = v.strip_prefix("outran:") {
-        let e: f64 = eps
-            .parse()
-            .map_err(|_| format!("bad epsilon in '{v}'"))?;
+        let e: f64 = eps.parse().map_err(|_| format!("bad epsilon in '{v}'"))?;
         return Ok(SchedulerKind::OutRanEps(e));
     }
     Ok(match v {
@@ -272,8 +314,18 @@ fn parse_f64(v: &str, flag: &str) -> Result<f64, String> {
     v.parse().map_err(|_| format!("{flag}: bad number '{v}'"))
 }
 
-/// Execute an experiment per the options and print the report.
-pub fn run(o: &Opts) {
+/// Execute the selected subcommand. `Err` means the run could not
+/// complete as asked and maps to a non-zero process exit.
+pub fn run(o: &Opts) -> Result<(), String> {
+    match o.command {
+        Command::Run => run_standard(o),
+        Command::Chaos => run_chaos(o),
+    }
+}
+
+/// Build the experiment described by the options (shared by both
+/// subcommands; `chaos` layers a fault plan on top).
+fn build_experiment(o: &Opts) -> Experiment {
     let dist = o.dist.unwrap_or(match o.scenario {
         Scenario::NrUrban(_) => FlowSizeDist::MirageMobileApp,
         _ => FlowSizeDist::LteCellular,
@@ -305,8 +357,62 @@ pub fn run(o: &Opts) {
     if o.harq {
         exp = exp.harq(Some(HarqConfig::default()));
     }
-    let mut r = exp.run();
+    exp
+}
 
+fn run_standard(o: &Opts) -> Result<(), String> {
+    let mut r = build_experiment(o).run();
+    print_report(o, &r);
+    finish_report(o, &mut r)
+}
+
+fn run_chaos(o: &Opts) -> Result<(), String> {
+    let plan = FaultPlan::chaos(o.seed, Dur::from_secs(o.secs), o.users, o.intensity);
+    println!(
+        "chaos plan (seed {}, intensity {}, {} windows):",
+        o.seed,
+        o.intensity,
+        plan.windows().len()
+    );
+    println!("{}", plan.describe());
+    let mut r = build_experiment(o)
+        .faults(plan)
+        .watchdog(Some(Dur::from_millis(750)))
+        .run();
+    print_report(o, &r);
+
+    println!(
+        "residual losses: {}   flows evicted: {}",
+        r.residual_losses, r.fault_stats.flows_evicted
+    );
+    let mut t = outran_metrics::table::Table::new("fault + recovery events", &["event", "count"]);
+    for (label, value) in r.fault_stats.rows() {
+        t.row(&[label.to_string(), value.to_string()]);
+    }
+    t.print();
+    let survived = r.offered == 0 || r.completed as f64 / r.offered as f64 >= 0.5;
+    println!(
+        "survival: {}/{} flows completed ({})   invariant violations: {}",
+        r.completed,
+        r.offered,
+        if survived { "ok" } else { "degraded" },
+        r.total_violations
+    );
+    for v in &r.violations {
+        println!("  violation: {v}");
+    }
+    finish_report(o, &mut r)?;
+    if r.total_violations > 0 {
+        return Err(format!(
+            "{} invariant violation(s) detected",
+            r.total_violations
+        ));
+    }
+    Ok(())
+}
+
+/// The standard report lines shared by both subcommands.
+fn print_report(o: &Opts, r: &ExperimentReport) {
     println!(
         "scenario {}  scheduler {}  users {}  load {}  {}s  seed {}",
         o.scenario.name(),
@@ -317,8 +423,8 @@ pub fn run(o: &Opts) {
         o.seed
     );
     println!(
-        "flows: {} completed / {} offered   buffer drops: {}",
-        r.completed, r.offered, r.buffer_drops
+        "flows: {} completed / {} offered   buffer drops: {}   residual losses: {}",
+        r.completed, r.offered, r.buffer_drops, r.residual_losses
     );
     println!(
         "FCT (ms): overall {:.1}  S avg {:.1}  S p95 {:.1}  S p99 {:.1}  M {:.1}  L {:.1}",
@@ -333,15 +439,17 @@ pub fn run(o: &Opts) {
         "cell: SE {:.2} bit/s/Hz   fairness {:.3}   mean Q delay {:.1} ms (short {:.1} ms)",
         r.spectral_efficiency, r.fairness, r.mean_qdelay_ms, r.short_qdelay_ms
     );
+}
+
+/// CSV export and optional CDF print (shared tail of both subcommands).
+fn finish_report(o: &Opts, r: &mut ExperimentReport) -> Result<(), String> {
     if let Some(path) = &o.csv {
         let mut out = String::from("size_bytes,fct_ms\n");
         for (bytes, fct) in &r.flow_records {
             out.push_str(&format!("{bytes},{fct:.3}\n"));
         }
-        match std::fs::write(path, out) {
-            Ok(()) => println!("wrote {} flow records to {path}", r.flow_records.len()),
-            Err(e) => eprintln!("csv write failed: {e}"),
-        }
+        std::fs::write(path, out).map_err(|e| format!("csv write to '{path}' failed: {e}"))?;
+        println!("wrote {} flow records to {path}", r.flow_records.len());
     }
     if let Some(sel) = o.cdf {
         let bucket = match sel {
@@ -353,6 +461,7 @@ pub fn run(o: &Opts) {
         let pts = r.fct_collector.cdf(bucket, 40);
         outran_metrics::table::print_series("FCT (ms) CDF", &pts, 40);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -381,7 +490,10 @@ mod tests {
 
     #[test]
     fn scheduler_variants() {
-        assert_eq!(parse("--scheduler pf").unwrap().scheduler, SchedulerKind::Pf);
+        assert_eq!(
+            parse("--scheduler pf").unwrap().scheduler,
+            SchedulerKind::Pf
+        );
         assert_eq!(
             parse("--scheduler strict-mlfq").unwrap().scheduler,
             SchedulerKind::StrictMlfq
@@ -432,9 +544,35 @@ mod tests {
     }
 
     #[test]
+    fn subcommands() {
+        assert_eq!(parse("").unwrap().command, Command::Run);
+        assert_eq!(parse("run --users 3").unwrap().command, Command::Run);
+        let o = parse("chaos --intensity 0.8 --users 3").unwrap();
+        assert_eq!(o.command, Command::Chaos);
+        assert!((o.intensity - 0.8).abs() < 1e-12);
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("chaos --intensity 1.5").is_err());
+        assert!(parse("chaos --intensity -0.1").is_err());
+    }
+
+    #[test]
     fn run_smoke() {
         // A tiny end-to-end run through the CLI path.
         let o = parse("--users 4 --load 0.3 --secs 2 --scheduler pf").unwrap();
-        run(&o);
+        run(&o).unwrap();
+    }
+
+    #[test]
+    fn chaos_smoke() {
+        // End-to-end chaos run: faults injected, zero violations.
+        let o = parse("chaos --users 4 --load 0.3 --secs 2 --intensity 0.6").unwrap();
+        run(&o).unwrap();
+    }
+
+    #[test]
+    fn csv_failure_is_an_error() {
+        let o = parse("--users 3 --load 0.3 --secs 1 --csv /nonexistent-dir/x.csv").unwrap();
+        let e = run(&o).unwrap_err();
+        assert!(e.contains("csv write"), "{e}");
     }
 }

@@ -18,11 +18,15 @@ fn main() {
         println!("{HELP}");
         return;
     }
-    match parse_args(&args) {
-        Ok(opts) => run(&opts),
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
         Err(e) => {
             eprintln!("error: {e}\n\n{HELP}");
             std::process::exit(2);
         }
+    };
+    if let Err(e) = run(&opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,39 @@
+//! Offline shim for the `rand` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! few external traits it consumes are provided by thin in-repo shims.
+//! Only the surface actually used is implemented: [`RngCore`] (implemented
+//! by `outran-simcore`'s deterministic xoshiro generator) and the
+//! [`Error`] type its fallible method mentions.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type returned by [`RngCore::try_fill_bytes`].
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait (API-compatible subset of
+/// `rand::RngCore` 0.8).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

@@ -41,7 +41,7 @@ impl PriorityReset {
         if now >= self.next_at {
             // Skip any missed periods (coarse callers) but stay phase-locked.
             while self.next_at <= now {
-                self.next_at = self.next_at + self.period;
+                self.next_at += self.period;
             }
             self.resets += 1;
             true

@@ -1,0 +1,375 @@
+//! Runtime invariant auditing.
+//!
+//! The [`InvariantAuditor`] is fed cheap observations every TTI (clock,
+//! RB usage, per-flow delivery order) and a fuller [`AuditSnapshot`]
+//! every `check_every_ttis` TTIs plus once at end-of-run. Failed checks
+//! become structured [`Violation`] records rather than panics, so a run
+//! under fault injection can finish and report everything it saw.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use outran_simcore::Time;
+
+/// Byte-conservation ledger for the downlink path, maintained by the
+/// cell. Every payload byte scheduled toward the eNB must be accounted
+/// for: `injected == delivered + dropped + in_flight` at all times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteLedger {
+    /// Bytes emitted by server-side senders toward the eNB.
+    pub injected: u64,
+    /// Bytes delivered to UE-side receivers.
+    pub delivered: u64,
+    /// Bytes terminally lost, across every drop path (CN faults, buffer
+    /// overflow, residual loss, HARQ exhaustion, reassembly discard,
+    /// re-establishment flushes).
+    pub dropped: u64,
+    /// Bytes currently held: CN link in flight, RLC tx queues, HARQ
+    /// queues, and rx reassembly buffers.
+    pub in_flight: u64,
+}
+
+impl ByteLedger {
+    /// Signed conservation error (0 when the ledger balances).
+    pub fn imbalance(&self) -> i64 {
+        self.injected as i64 - (self.delivered + self.dropped + self.in_flight) as i64
+    }
+}
+
+/// Periodic state handed to [`InvariantAuditor::check`].
+#[derive(Debug, Clone, Default)]
+pub struct AuditSnapshot {
+    /// Byte ledger, if the cell can compute one exactly for its RLC mode.
+    pub bytes: Option<ByteLedger>,
+    /// Per-UE RLC queue depth in SDUs: `(ue, depth)`.
+    pub queue_depths: Vec<(usize, usize)>,
+    /// Effective queue bound in SDUs (after any active buffer shrink).
+    pub queue_bound: usize,
+}
+
+/// One failed invariant check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// `injected != delivered + dropped + in_flight`.
+    ByteConservation {
+        /// The unbalanced ledger.
+        ledger: ByteLedger,
+    },
+    /// A TTI allocated more RBs than the grid holds.
+    RbOverCommit {
+        /// RBs handed out.
+        used: u32,
+        /// RBs available this TTI.
+        available: u32,
+    },
+    /// The event clock moved backwards.
+    ClockWentBackwards {
+        /// Previously observed instant.
+        prev: Time,
+        /// Offending instant.
+        now: Time,
+    },
+    /// RLC delivered SDUs of one flow out of push order.
+    IntraFlowReorder {
+        /// UE owning the bearer.
+        ue: usize,
+        /// Flow identifier.
+        flow: u64,
+        /// Highest SDU id delivered before the offender.
+        prev_sdu: u64,
+        /// Out-of-order SDU id.
+        sdu: u64,
+    },
+    /// An RLC queue exceeded its configured bound.
+    QueueDepthExceeded {
+        /// UE owning the queue.
+        ue: usize,
+        /// Observed depth in SDUs.
+        depth: usize,
+        /// Configured bound in SDUs.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::ByteConservation { ledger } => write!(
+                f,
+                "byte conservation broken: injected {} != delivered {} + dropped {} + in-flight {} (imbalance {})",
+                ledger.injected, ledger.delivered, ledger.dropped, ledger.in_flight,
+                ledger.imbalance()
+            ),
+            ViolationKind::RbOverCommit { used, available } => {
+                write!(f, "RB over-commit: allocated {used} of {available}")
+            }
+            ViolationKind::ClockWentBackwards { prev, now } => write!(
+                f,
+                "event clock went backwards: {} -> {} ns",
+                prev.as_nanos(),
+                now.as_nanos()
+            ),
+            ViolationKind::IntraFlowReorder { ue, flow, prev_sdu, sdu } => write!(
+                f,
+                "intra-flow reorder on ue {ue} flow {flow}: sdu {sdu} after {prev_sdu}"
+            ),
+            ViolationKind::QueueDepthExceeded { ue, depth, bound } => {
+                write!(f, "queue depth exceeded on ue {ue}: {depth} > bound {bound}")
+            }
+        }
+    }
+}
+
+/// A [`ViolationKind`] plus when it was observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Simulation time of the failed check.
+    pub at: Time,
+    /// What failed.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.6}s] {}", self.at.as_nanos() as f64 / 1e9, self.kind)
+    }
+}
+
+/// Auditor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Full-snapshot cadence in TTIs.
+    pub check_every_ttis: u64,
+    /// Cap on retained violations (later ones are counted, not stored).
+    pub max_recorded: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            check_every_ttis: 100,
+            max_recorded: 64,
+        }
+    }
+}
+
+/// Collects invariant violations over a run.
+#[derive(Debug, Default)]
+pub struct InvariantAuditor {
+    cfg: AuditConfig,
+    violations: Vec<Violation>,
+    total_violations: u64,
+    checks_run: u64,
+    ttis_seen: u64,
+    last_clock: Option<Time>,
+    // (ue, flow) -> highest delivered sdu id.
+    delivery_order: HashMap<(usize, u64), u64>,
+}
+
+impl InvariantAuditor {
+    /// New auditor with the given cadence.
+    pub fn new(cfg: AuditConfig) -> InvariantAuditor {
+        InvariantAuditor {
+            cfg,
+            violations: Vec::new(),
+            total_violations: 0,
+            checks_run: 0,
+            ttis_seen: 0,
+            last_clock: None,
+            delivery_order: HashMap::new(),
+        }
+    }
+
+    fn record(&mut self, at: Time, kind: ViolationKind) {
+        self.total_violations += 1;
+        if self.violations.len() < self.cfg.max_recorded {
+            self.violations.push(Violation { at, kind });
+        }
+    }
+
+    /// Observe the event clock once per TTI; flags regressions.
+    pub fn observe_clock(&mut self, now: Time) {
+        if let Some(prev) = self.last_clock {
+            if now < prev {
+                self.record(now, ViolationKind::ClockWentBackwards { prev, now });
+            }
+        }
+        self.last_clock = Some(now);
+        self.ttis_seen += 1;
+    }
+
+    /// Observe one TTI's RB usage (cheap, called every TTI).
+    pub fn observe_rbs(&mut self, now: Time, used: u32, available: u32) {
+        if used > available {
+            self.record(now, ViolationKind::RbOverCommit { used, available });
+        }
+    }
+
+    /// Observe one delivered SDU; flags per-flow push-order regressions.
+    /// SDU ids are assigned in push order per UE, so within one flow they
+    /// must be strictly increasing (gaps from discards are fine).
+    pub fn observe_delivery(&mut self, now: Time, ue: usize, flow: u64, sdu: u64) {
+        let key = (ue, flow);
+        match self.delivery_order.get(&key) {
+            Some(&prev_sdu) if sdu <= prev_sdu => {
+                self.record(
+                    now,
+                    ViolationKind::IntraFlowReorder {
+                        ue,
+                        flow,
+                        prev_sdu,
+                        sdu,
+                    },
+                );
+            }
+            _ => {
+                self.delivery_order.insert(key, sdu);
+            }
+        }
+    }
+
+    /// Forget delivery-order history for one UE (radio-link failure or
+    /// detach re-establishes RLC, which legitimately restarts SDU ids).
+    pub fn forget_ue(&mut self, ue: usize) {
+        self.delivery_order.retain(|&(u, _), _| u != ue);
+    }
+
+    /// Whether the periodic full check is due this TTI.
+    pub fn due(&self) -> bool {
+        self.cfg.check_every_ttis > 0 && self.ttis_seen.is_multiple_of(self.cfg.check_every_ttis)
+    }
+
+    /// Run the full snapshot check (periodically and at end-of-run).
+    pub fn check(&mut self, now: Time, snap: &AuditSnapshot) {
+        self.checks_run += 1;
+        if let Some(ledger) = snap.bytes {
+            if ledger.imbalance() != 0 {
+                self.record(now, ViolationKind::ByteConservation { ledger });
+            }
+        }
+        for &(ue, depth) in &snap.queue_depths {
+            if depth > snap.queue_bound {
+                self.record(
+                    now,
+                    ViolationKind::QueueDepthExceeded {
+                        ue,
+                        depth,
+                        bound: snap.queue_bound,
+                    },
+                );
+            }
+        }
+    }
+
+    /// All retained violations, in observation order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations observed (including any beyond the retention cap).
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// Number of full snapshot checks run.
+    pub fn checks_run(&self) -> u64 {
+        self.checks_run
+    }
+
+    /// True when no invariant has failed.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Time {
+        Time::from_millis(ms)
+    }
+
+    #[test]
+    fn clean_run_stays_clean() {
+        let mut a = InvariantAuditor::new(AuditConfig::default());
+        for i in 0..500 {
+            a.observe_clock(t(i));
+            a.observe_rbs(t(i), 25, 25);
+            if a.due() {
+                a.check(
+                    t(i),
+                    &AuditSnapshot {
+                        bytes: Some(ByteLedger {
+                            injected: 100,
+                            delivered: 60,
+                            dropped: 10,
+                            in_flight: 30,
+                        }),
+                        queue_depths: vec![(0, 8), (1, 0)],
+                        queue_bound: 64,
+                    },
+                );
+            }
+        }
+        assert!(a.is_clean());
+        assert!(a.checks_run() > 0);
+    }
+
+    #[test]
+    fn each_invariant_trips() {
+        let mut a = InvariantAuditor::new(AuditConfig::default());
+        a.observe_clock(t(10));
+        a.observe_clock(t(5));
+        a.observe_rbs(t(10), 30, 25);
+        a.observe_delivery(t(10), 0, 7, 4);
+        a.observe_delivery(t(11), 0, 7, 3);
+        a.check(
+            t(12),
+            &AuditSnapshot {
+                bytes: Some(ByteLedger {
+                    injected: 100,
+                    delivered: 50,
+                    dropped: 10,
+                    in_flight: 30,
+                }),
+                queue_depths: vec![(1, 99)],
+                queue_bound: 64,
+            },
+        );
+        assert_eq!(a.total_violations(), 5);
+        assert_eq!(a.violations().len(), 5);
+        let shown = a
+            .violations()
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>();
+        assert!(shown[0].contains("backwards"));
+        assert!(shown[1].contains("over-commit"));
+        assert!(shown[2].contains("reorder"));
+        assert!(shown[3].contains("imbalance 10"));
+        assert!(shown[4].contains("depth"));
+    }
+
+    #[test]
+    fn forget_ue_allows_sdu_id_restart() {
+        let mut a = InvariantAuditor::new(AuditConfig::default());
+        a.observe_delivery(t(1), 2, 5, 40);
+        a.forget_ue(2);
+        a.observe_delivery(t(2), 2, 5, 1);
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn retention_cap_counts_everything() {
+        let mut a = InvariantAuditor::new(AuditConfig {
+            check_every_ttis: 1,
+            max_recorded: 2,
+        });
+        for i in 0..5 {
+            a.observe_rbs(t(i), 99, 1);
+        }
+        assert_eq!(a.total_violations(), 5);
+        assert_eq!(a.violations().len(), 2);
+    }
+}

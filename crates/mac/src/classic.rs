@@ -42,7 +42,7 @@ impl Scheduler for BetScheduler {
                 }
                 let avg = self.avg[u].get();
                 let m = if avg <= 0.0 { f64::INFINITY } else { 1.0 / avg };
-                if best.map_or(true, |(_, bm, _)| m > bm) {
+                if best.is_none_or(|(_, bm, _)| m > bm) {
                     best = Some((u, m, r));
                 }
             }
@@ -112,7 +112,7 @@ impl Scheduler for MlwdfScheduler {
                 // +1 TTI so a freshly arrived queue is not zero-weighted.
                 let hol = ue.hol_delay.as_secs_f64() + 1e-3;
                 let m = self.weight * hol * pf;
-                if best.map_or(true, |(_, bm, _)| m > bm) {
+                if best.is_none_or(|(_, bm, _)| m > bm) {
                     best = Some((u, m, r));
                 }
             }
@@ -218,6 +218,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn mlwdf_rejects_bad_delta() {
-        let _ = MlwdfScheduler::new(1, Dur::from_millis(100), Dur::from_millis(1), Dur::from_millis(100), 1.5);
+        let _ = MlwdfScheduler::new(
+            1,
+            Dur::from_millis(100),
+            Dur::from_millis(1),
+            Dur::from_millis(100),
+            1.5,
+        );
     }
 }

@@ -109,7 +109,7 @@ impl Scheduler for PfScheduler {
                     continue;
                 }
                 let m = self.core.metric(u, r);
-                if best.map_or(true, |(_, bm, _)| m > bm) {
+                if best.is_none_or(|(_, bm, _)| m > bm) {
                     best = Some((u, m, r));
                 }
             }
@@ -147,7 +147,7 @@ impl Scheduler for MtScheduler {
                 if r <= 0.0 {
                     continue;
                 }
-                if best.map_or(true, |(_, br)| r > br) {
+                if best.is_none_or(|(_, br)| r > br) {
                     best = Some((u, r));
                 }
             }

@@ -73,7 +73,7 @@ impl Scheduler for PssScheduler {
                         continue;
                     }
                     let m = self.core.metric(u, r);
-                    if best.map_or(true, |(_, bm, _)| m > bm) {
+                    if best.is_none_or(|(_, bm, _)| m > bm) {
                         best = Some((u, m, r));
                     }
                 }
@@ -89,7 +89,7 @@ impl Scheduler for PssScheduler {
                         continue;
                     }
                     let m = self.core.metric(u, r);
-                    if best.map_or(true, |(_, bm, _)| m > bm) {
+                    if best.is_none_or(|(_, bm, _)| m > bm) {
                         best = Some((u, m, r));
                     }
                 }
@@ -130,8 +130,7 @@ impl CqaScheduler {
         if !ue.oracle_has_qos_flow {
             return 1.0;
         }
-        let urgency =
-            1.0 + ue.hol_delay.as_secs_f64() / self.params.delay_budget.as_secs_f64();
+        let urgency = 1.0 + ue.hol_delay.as_secs_f64() / self.params.delay_budget.as_secs_f64();
         urgency.powf(self.params.beta)
     }
 }
@@ -151,7 +150,7 @@ impl Scheduler for CqaScheduler {
                     continue;
                 }
                 let m = self.core.metric(u, r) * self.weight(ue);
-                if best.map_or(true, |(_, bm, _)| m > bm) {
+                if best.is_none_or(|(_, bm, _)| m > bm) {
                     best = Some((u, m, r));
                 }
             }

@@ -181,7 +181,7 @@ mod tests {
         assert_eq!(a.rbs_used(), 50, "leftover RBs must waterfall");
         // The short-flow UE still goes first.
         assert_eq!(a.rb_to_ue[0], Some(0));
-        assert!(a.rb_to_ue.iter().any(|&x| x == Some(1)));
+        assert!(a.rb_to_ue.contains(&Some(1)));
     }
 
     #[test]

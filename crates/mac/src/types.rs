@@ -140,6 +140,9 @@ mod tests {
         assert_eq!(a.rb_to_ue, vec![Some(1), None, None, Some(0)]);
     }
 
+    // The guard is a debug_assert, so the panic only exists in debug
+    // builds; under --release the test would fail for the wrong reason.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic]
     fn double_assign_caught() {

@@ -207,13 +207,7 @@ mod tests {
     use super::*;
 
     fn m() -> CellMetrics {
-        CellMetrics::new(
-            20e6,
-            4,
-            Dur::from_millis(1),
-            50,
-            Dur::from_millis(200),
-        )
+        CellMetrics::new(20e6, 4, Dur::from_millis(1), 50, Dur::from_millis(200))
     }
 
     const ALL: [bool; 4] = [true; 4];

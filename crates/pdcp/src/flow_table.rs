@@ -105,6 +105,10 @@ pub struct FlowTable {
     flows: HashMap<FiveTuple, FlowState>,
     /// Idle entries older than this are evicted on [`FlowTable::gc`].
     idle_timeout: Dur,
+    /// Admission-control cap on tracked entries (`None` = unbounded).
+    max_entries: Option<usize>,
+    /// Entries evicted by admission control (not idle GC).
+    evicted: u64,
 }
 
 impl FlowTable {
@@ -117,6 +121,8 @@ impl FlowTable {
             mlfq,
             flows: HashMap::new(),
             idle_timeout: Dur::from_secs(30),
+            max_entries: None,
+            evicted: 0,
         }
     }
 
@@ -131,6 +137,11 @@ impl FlowTable {
     /// first packet of a flow is always P1 — matching PIAS/strict-MLFQ
     /// semantics where the packet inherits the queue its flow sits in).
     pub fn observe(&mut self, tuple: FiveTuple, len: u32, now: Time) -> Priority {
+        if let Some(cap) = self.max_entries {
+            if !self.flows.contains_key(&tuple) && self.flows.len() >= cap {
+                self.evict_one();
+            }
+        }
         let entry = self.flows.entry(tuple).or_insert(FlowState {
             sent_bytes: 0,
             first_seen: now,
@@ -190,6 +201,39 @@ impl FlowTable {
     /// Change the idle-eviction timeout.
     pub fn set_idle_timeout(&mut self, timeout: Dur) {
         self.idle_timeout = timeout;
+    }
+
+    /// Cap the number of tracked entries. When a new flow arrives at a
+    /// full table, the least-recently-seen entry is evicted (admission
+    /// control under state overload, §7 memory budget). `None` removes
+    /// the cap.
+    pub fn set_max_entries(&mut self, cap: Option<usize>) {
+        if let Some(cap) = cap {
+            assert!(cap > 0, "flow-table cap must be positive");
+            while self.flows.len() > cap {
+                self.evict_one();
+            }
+        }
+        self.max_entries = cap;
+    }
+
+    /// Entries evicted by admission control so far.
+    pub fn evictions(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Evict the least-recently-seen entry (tuple order breaks ties so
+    /// eviction is deterministic regardless of hash iteration order).
+    fn evict_one(&mut self) {
+        let victim = self
+            .flows
+            .iter()
+            .min_by_key(|(t, st)| (st.last_seen, **t))
+            .map(|(t, _)| *t);
+        if let Some(t) = victim {
+            self.flows.remove(&t);
+            self.evicted += 1;
+        }
     }
 
     /// Export all per-flow state — the §7 handover path ("the flow state
@@ -316,6 +360,27 @@ mod tests {
         assert_eq!(dst.sent_bytes(&tuple(1)), 50_000);
         assert_eq!(dst.priority_of(&tuple(1)), Priority(1));
         assert_eq!(dst.priority_of(&tuple(2)), Priority::TOP);
+    }
+
+    #[test]
+    fn admission_control_evicts_least_recent() {
+        let mut ft = FlowTable::new(MlfqConfig::default());
+        ft.set_max_entries(Some(2));
+        ft.observe(tuple(1), 100, Time::ZERO);
+        ft.observe(tuple(2), 100, Time::from_secs(1));
+        // Table full: tuple(1) is least-recently-seen and must go.
+        ft.observe(tuple(3), 100, Time::from_secs(2));
+        assert_eq!(ft.len(), 2);
+        assert_eq!(ft.evictions(), 1);
+        assert_eq!(ft.sent_bytes(&tuple(1)), 0);
+        assert_eq!(ft.sent_bytes(&tuple(2)), 100);
+        // Re-observing an existing flow never evicts.
+        ft.observe(tuple(2), 100, Time::from_secs(3));
+        assert_eq!(ft.evictions(), 1);
+        // Shrinking the cap evicts immediately.
+        ft.set_max_entries(Some(1));
+        assert_eq!(ft.len(), 1);
+        assert_eq!(ft.evictions(), 2);
     }
 
     #[test]

@@ -175,9 +175,7 @@ mod tests {
     use super::*;
 
     fn payloads() -> Vec<Bytes> {
-        (0..5u8)
-            .map(|i| Bytes::from(vec![i; 32]))
-            .collect()
+        (0..5u8).map(|i| Bytes::from(vec![i; 32])).collect()
     }
 
     #[test]

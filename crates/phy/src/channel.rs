@@ -142,6 +142,17 @@ pub struct CellChannel {
     rbs_per_subband: u16,
     tti_index: u64,
     dist_since_shadow: Vec<f64>,
+    /// Fault injection: UEs whose CQI reports are frozen (measurements
+    /// and pending deliveries suppressed; the scheduler keeps seeing the
+    /// last delivered report while the channel evolves underneath).
+    cqi_frozen: Vec<bool>,
+    /// Fault injection: UEs whose new CQI measurements are replaced with
+    /// uniformly random values.
+    cqi_corrupt: Vec<bool>,
+    /// Reports suppressed by freeze windows (diagnostics).
+    pub cqi_frozen_reports: u64,
+    /// Reports replaced by corruption windows (diagnostics).
+    pub cqi_corrupted_reports: u64,
 }
 
 impl CellChannel {
@@ -185,6 +196,10 @@ impl CellChannel {
             rbs_per_subband,
             tti_index: 0,
             dist_since_shadow: vec![0.0; n_ues],
+            cqi_frozen: vec![false; n_ues],
+            cqi_corrupt: vec![false; n_ues],
+            cqi_frozen_reports: 0,
+            cqi_corrupted_reports: 0,
         };
         // Prime reports so the first TTI already has usable CQI.
         for u in 0..n_ues {
@@ -238,13 +253,16 @@ impl CellChannel {
     pub fn mean_sinr_db(&self, ue: usize) -> f64 {
         let st = &self.ues[ue];
         let pl = self.pathloss_db(st.walker.pos().dist_origin());
-        (self.cfg.tx_power_dbm - pl - self.cfg.noise_dbm() + st.shadow_db)
-            .min(self.cfg.sinr_cap_db)
+        (self.cfg.tx_power_dbm - pl - self.cfg.noise_dbm() + st.shadow_db).min(self.cfg.sinr_cap_db)
     }
 
     fn measure_cqi(&mut self, ue: usize) -> Vec<Cqi> {
         (0..self.cfg.n_subbands)
-            .map(|sb| self.cfg.table.sinr_to_cqi(self.actual_sinr_db_subband(ue, sb)))
+            .map(|sb| {
+                self.cfg
+                    .table
+                    .sinr_to_cqi(self.actual_sinr_db_subband(ue, sb))
+            })
             .collect()
     }
 
@@ -280,12 +298,7 @@ impl CellChannel {
 
     /// Like [`CellChannel::transmission_succeeds`], with an extra
     /// effective-SINR gain in dB (HARQ chase combining).
-    pub fn transmission_succeeds_with_gain(
-        &mut self,
-        ue: usize,
-        sb: usize,
-        gain_db: f64,
-    ) -> bool {
+    pub fn transmission_succeeds_with_gain(&mut self, ue: usize, sb: usize, gain_db: f64) -> bool {
         let cqi = self.ues[ue].reported[sb];
         let actual = self.actual_sinr_db_subband(ue, sb) + gain_db;
         let p_err = self.cfg.bler.error_prob(self.cfg.table, cqi, actual);
@@ -298,7 +311,7 @@ impl CellChannel {
         self.tti_index += 1;
         let tti = self.cfg.radio.tti();
         let mobility_every = (self.cfg.mobility_step.as_nanos() / tti.as_nanos()).max(1);
-        let do_mobility = self.tti_index % mobility_every == 0;
+        let do_mobility = self.tti_index.is_multiple_of(mobility_every);
 
         for ue in 0..self.ues.len() {
             self.ues[ue].fading.advance();
@@ -306,19 +319,28 @@ impl CellChannel {
                 let before = self.ues[ue].walker.pos();
                 self.ues[ue].walker.advance(self.cfg.mobility_step);
                 let after = self.ues[ue].walker.pos();
-                let moved =
-                    ((after.x - before.x).powi(2) + (after.y - before.y).powi(2)).sqrt();
+                let moved = ((after.x - before.x).powi(2) + (after.y - before.y).powi(2)).sqrt();
                 self.dist_since_shadow[ue] += moved;
                 // Shadowing evolves once the UE crossed a correlation step.
                 if self.dist_since_shadow[ue] >= self.cfg.shadowing_corr_m / 4.0 {
-                    let rho =
-                        (-self.dist_since_shadow[ue] / self.cfg.shadowing_corr_m).exp();
-                    let innovation = Normal::new(0.0, self.cfg.shadowing_sd_db)
-                        .sample(&mut self.ues[ue].rng);
+                    let rho = (-self.dist_since_shadow[ue] / self.cfg.shadowing_corr_m).exp();
+                    let innovation =
+                        Normal::new(0.0, self.cfg.shadowing_sd_db).sample(&mut self.ues[ue].rng);
                     self.ues[ue].shadow_db =
                         rho * self.ues[ue].shadow_db + (1.0 - rho * rho).sqrt() * innovation;
                     self.dist_since_shadow[ue] = 0.0;
                 }
+            }
+            // Freeze fault: the reporting loop stalls — no pending
+            // delivery, no new measurement. The scheduler keeps acting on
+            // the last delivered report while the channel drifts.
+            if self.cqi_frozen[ue] {
+                if self.ues[ue].next_report_at <= now {
+                    self.cqi_frozen_reports += 1;
+                    let st = &mut self.ues[ue];
+                    st.next_report_at = now + tti.mul(self.cfg.cqi_period_ttis as u64);
+                }
+                continue;
             }
             // Deliver a pending report that has aged past the delay.
             if self.ues[ue].pending_due <= now {
@@ -326,7 +348,17 @@ impl CellChannel {
             }
             // Take a new measurement on the reporting period.
             if self.ues[ue].next_report_at <= now {
-                let measured = self.measure_cqi(ue);
+                let measured = if self.cqi_corrupt[ue] {
+                    // Corruption fault: the report is garbage, drawn from
+                    // the UE's own stream so runs stay deterministic.
+                    self.cqi_corrupted_reports += 1;
+                    let st = &mut self.ues[ue];
+                    (0..self.cfg.n_subbands)
+                        .map(|_| Cqi(st.rng.index(16) as u8))
+                        .collect()
+                } else {
+                    self.measure_cqi(ue)
+                };
                 let st = &mut self.ues[ue];
                 st.pending = measured;
                 st.pending_due = now + tti.mul(self.cfg.cqi_delay_ttis as u64);
@@ -338,6 +370,17 @@ impl CellChannel {
     /// Distance of `ue` from the base station (m).
     pub fn ue_distance(&self, ue: usize) -> f64 {
         self.ues[ue].walker.pos().dist_origin()
+    }
+
+    /// Fault injection: freeze or unfreeze `ue`'s CQI reporting loop.
+    pub fn set_cqi_frozen(&mut self, ue: usize, frozen: bool) {
+        self.cqi_frozen[ue] = frozen;
+    }
+
+    /// Fault injection: corrupt (or stop corrupting) `ue`'s new CQI
+    /// measurements.
+    pub fn set_cqi_corrupt(&mut self, ue: usize, corrupt: bool) {
+        self.cqi_corrupt[ue] = corrupt;
     }
 }
 
@@ -413,6 +456,50 @@ mod tests {
     }
 
     #[test]
+    fn cqi_freeze_stalls_reports_and_counts() {
+        let mut ch = small_channel();
+        ch.set_cqi_frozen(0, true);
+        let before: Vec<Cqi> = (0..4).map(|sb| ch.reported_cqi_subband(0, sb)).collect();
+        let tti = ch.config().radio.tti();
+        let mut now = Time::ZERO;
+        for _ in 0..2000 {
+            now += tti;
+            ch.advance_tti(now);
+        }
+        let after: Vec<Cqi> = (0..4).map(|sb| ch.reported_cqi_subband(0, sb)).collect();
+        assert_eq!(before, after, "frozen UE's reported CQI must not move");
+        assert!(ch.cqi_frozen_reports > 0, "suppressed reports must count");
+        // Unfreeze: the loop resumes and the counter stops growing.
+        ch.set_cqi_frozen(0, false);
+        let held = ch.cqi_frozen_reports;
+        for _ in 0..2000 {
+            now += tti;
+            ch.advance_tti(now);
+        }
+        assert_eq!(ch.cqi_frozen_reports, held);
+    }
+
+    #[test]
+    fn cqi_corrupt_counts_reports() {
+        let mut ch = small_channel();
+        ch.set_cqi_corrupt(1, true);
+        let tti = ch.config().radio.tti();
+        let mut now = Time::ZERO;
+        for _ in 0..2000 {
+            now += tti;
+            ch.advance_tti(now);
+        }
+        assert!(
+            ch.cqi_corrupted_reports > 0,
+            "corrupt window must replace measurements"
+        );
+        // Reported CQIs stay in the valid 0..=15 range even when junk.
+        for sb in 0..4 {
+            assert!(ch.reported_cqi_subband(1, sb).0 <= 15);
+        }
+    }
+
+    #[test]
     fn cqi_reports_update_on_period() {
         // Some UE's report must change over a few seconds of pedestrian
         // fading (UEs pinned at the SINR cap may legitimately stay at 15).
@@ -483,8 +570,8 @@ mod tests {
         cfg.cqi_period_ttis = 1;
         cfg.cqi_delay_ttis = 0;
         cfg.sinr_cap_db = 20.0; // keep UEs off the CQI-15 saturation
-        // Average across many UEs so the per-UE SINR surplus over its
-        // chosen MCS (uniform-ish in one CQI step) is integrated out.
+                                // Average across many UEs so the per-UE SINR surplus over its
+                                // chosen MCS (uniform-ish in one CQI step) is integrated out.
         let n_ues = 64;
         let mut ch = CellChannel::new(cfg, n_ues, &Rng::new(3));
         let mut fails = 0u32;

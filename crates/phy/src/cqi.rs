@@ -53,40 +53,130 @@ impl McsEntry {
 
 /// TS 36.213 Table 7.2.3-1 (64-QAM), indexed by CQI 1..=15.
 const TABLE_64QAM: [McsEntry; 15] = [
-    McsEntry { modulation_bits: 2, code_rate_x1024: 78 },
-    McsEntry { modulation_bits: 2, code_rate_x1024: 120 },
-    McsEntry { modulation_bits: 2, code_rate_x1024: 193 },
-    McsEntry { modulation_bits: 2, code_rate_x1024: 308 },
-    McsEntry { modulation_bits: 2, code_rate_x1024: 449 },
-    McsEntry { modulation_bits: 2, code_rate_x1024: 602 },
-    McsEntry { modulation_bits: 4, code_rate_x1024: 378 },
-    McsEntry { modulation_bits: 4, code_rate_x1024: 490 },
-    McsEntry { modulation_bits: 4, code_rate_x1024: 616 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 466 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 567 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 666 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 772 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 873 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 948 },
+    McsEntry {
+        modulation_bits: 2,
+        code_rate_x1024: 78,
+    },
+    McsEntry {
+        modulation_bits: 2,
+        code_rate_x1024: 120,
+    },
+    McsEntry {
+        modulation_bits: 2,
+        code_rate_x1024: 193,
+    },
+    McsEntry {
+        modulation_bits: 2,
+        code_rate_x1024: 308,
+    },
+    McsEntry {
+        modulation_bits: 2,
+        code_rate_x1024: 449,
+    },
+    McsEntry {
+        modulation_bits: 2,
+        code_rate_x1024: 602,
+    },
+    McsEntry {
+        modulation_bits: 4,
+        code_rate_x1024: 378,
+    },
+    McsEntry {
+        modulation_bits: 4,
+        code_rate_x1024: 490,
+    },
+    McsEntry {
+        modulation_bits: 4,
+        code_rate_x1024: 616,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 466,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 567,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 666,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 772,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 873,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 948,
+    },
 ];
 
 /// TS 36.213 Table 7.2.3-2 (256-QAM), indexed by CQI 1..=15.
 const TABLE_256QAM: [McsEntry; 15] = [
-    McsEntry { modulation_bits: 2, code_rate_x1024: 78 },
-    McsEntry { modulation_bits: 2, code_rate_x1024: 193 },
-    McsEntry { modulation_bits: 2, code_rate_x1024: 449 },
-    McsEntry { modulation_bits: 4, code_rate_x1024: 378 },
-    McsEntry { modulation_bits: 4, code_rate_x1024: 490 },
-    McsEntry { modulation_bits: 4, code_rate_x1024: 616 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 466 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 567 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 666 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 772 },
-    McsEntry { modulation_bits: 6, code_rate_x1024: 873 },
-    McsEntry { modulation_bits: 8, code_rate_x1024: 711 },
-    McsEntry { modulation_bits: 8, code_rate_x1024: 797 },
-    McsEntry { modulation_bits: 8, code_rate_x1024: 885 },
-    McsEntry { modulation_bits: 8, code_rate_x1024: 948 },
+    McsEntry {
+        modulation_bits: 2,
+        code_rate_x1024: 78,
+    },
+    McsEntry {
+        modulation_bits: 2,
+        code_rate_x1024: 193,
+    },
+    McsEntry {
+        modulation_bits: 2,
+        code_rate_x1024: 449,
+    },
+    McsEntry {
+        modulation_bits: 4,
+        code_rate_x1024: 378,
+    },
+    McsEntry {
+        modulation_bits: 4,
+        code_rate_x1024: 490,
+    },
+    McsEntry {
+        modulation_bits: 4,
+        code_rate_x1024: 616,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 466,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 567,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 666,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 772,
+    },
+    McsEntry {
+        modulation_bits: 6,
+        code_rate_x1024: 873,
+    },
+    McsEntry {
+        modulation_bits: 8,
+        code_rate_x1024: 711,
+    },
+    McsEntry {
+        modulation_bits: 8,
+        code_rate_x1024: 797,
+    },
+    McsEntry {
+        modulation_bits: 8,
+        code_rate_x1024: 885,
+    },
+    McsEntry {
+        modulation_bits: 8,
+        code_rate_x1024: 948,
+    },
 ];
 
 impl CqiTable {

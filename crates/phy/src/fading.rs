@@ -68,7 +68,13 @@ impl FadingProcess {
     /// * `doppler_hz` — maximum Doppler shift `f_d` (0 allowed: static).
     /// * `step` — simulation step between [`FadingProcess::advance`] calls.
     /// * `flatness` — weight of the common wideband tap in (0..=1).
-    pub fn new(n_subbands: usize, doppler_hz: f64, step: Dur, flatness: f64, mut rng: Rng) -> FadingProcess {
+    pub fn new(
+        n_subbands: usize,
+        doppler_hz: f64,
+        step: Dur,
+        flatness: f64,
+        mut rng: Rng,
+    ) -> FadingProcess {
         assert!(n_subbands >= 1);
         assert!((0.0..=1.0).contains(&flatness));
         let rho = if doppler_hz <= 0.0 {
@@ -167,10 +173,7 @@ mod tests {
     fn subbands_differ_when_selective() {
         let p = proc_with(30.0, 0.0);
         let gains: Vec<f64> = (0..8).map(|i| p.gain_linear(i)).collect();
-        let spread = gains
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = gains.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - gains.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > 1e-6, "subbands should not be identical");
     }

@@ -150,6 +150,13 @@ impl<T> HarqQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// Drop every pending block (RLC re-establishment / radio-link
+    /// failure). Returns the payloads so the caller can account the
+    /// lost bytes.
+    pub fn clear(&mut self) -> Vec<HarqTb<T>> {
+        self.pending.drain(..).map(|(_, tb)| tb).collect()
+    }
 }
 
 #[cfg(test)]

@@ -91,10 +91,10 @@ impl Scenario {
                 cfg.radius_m = 30.0;
                 cfg.min_radius_m = 2.0;
                 cfg.ue_speed_mps = 1.4; // the paper replays a pedestrian
-                // CQI trace into srsENB; phones see mid-range, *varying*
-                // channel quality, not a cabled CQI-15 link. The tx power
-                // is set so mean SINR sits ~18-25 dB and Rayleigh dips
-                // push individual subbands through several CQI steps.
+                                        // CQI trace into srsENB; phones see mid-range, *varying*
+                                        // channel quality, not a cabled CQI-15 link. The tx power
+                                        // is set so mean SINR sits ~18-25 dB and Rayleigh dips
+                                        // push individual subbands through several CQI steps.
                 cfg.tx_power_dbm = -23.0;
                 cfg.pathloss_ref_db = 40.0;
                 cfg.pathloss_exp = 2.0;

@@ -19,9 +19,13 @@
 //! from one seed: equal seeds ⇒ identical runs.
 
 use outran_core::{OutRanConfig, PriorityReset};
+use outran_faults::{
+    ActiveFaults, AuditConfig, AuditSnapshot, ByteLedger, FaultPlan, FaultStats, InvariantAuditor,
+    Violation,
+};
 use outran_mac::{
-    Allocation, CqaScheduler, MtScheduler, OutRanScheduler, PfScheduler, PssScheduler,
-    QosParams, RateSource, RrScheduler, Scheduler, SrjfScheduler, UeTti,
+    Allocation, CqaScheduler, MtScheduler, OutRanScheduler, PfScheduler, PssScheduler, QosParams,
+    RateSource, RrScheduler, Scheduler, SrjfScheduler, UeTti,
 };
 use outran_metrics::{CellMetrics, FctCollector};
 use outran_pdcp::{FiveTuple, FlowTable, MlfqConfig};
@@ -152,6 +156,16 @@ pub struct CellConfig {
     pub harq: Option<outran_phy::harq::HarqConfig>,
     /// Root seed.
     pub seed: u64,
+    /// Scheduled fault timeline (empty = fault-free run).
+    pub faults: FaultPlan,
+    /// Invariant-auditor cadence and retention.
+    pub audit: AuditConfig,
+    /// Stalled-flow watchdog: force a TCP timeout after this long with
+    /// no cumulative-ACK progress on a started flow (`None` disables).
+    pub watchdog: Option<Dur>,
+    /// Per-UE PDCP flow-table admission cap (`None` = unbounded); when
+    /// full, the least-recently-seen entry is evicted to admit new flows.
+    pub max_flow_entries: Option<usize>,
 }
 
 impl CellConfig {
@@ -172,6 +186,10 @@ impl CellConfig {
             srjf_mode: outran_mac::srjf::SrjfMode::Waterfall,
             harq: None,
             seed,
+            faults: FaultPlan::new(),
+            audit: AuditConfig::default(),
+            watchdog: None,
+            max_flow_entries: None,
         }
     }
 }
@@ -239,6 +257,9 @@ struct FlowRt {
     receiver: TcpReceiver,
     started: bool,
     done: bool,
+    /// Watchdog state: highest cumulative ACK seen, and when it moved.
+    last_cum: u64,
+    last_progress: Time,
 }
 
 enum RlcTx {
@@ -316,6 +337,24 @@ pub struct Cell {
     /// Diagnostics: residual-loss events.
     pub residual_losses: u64,
     last_gc: Time,
+    /// Fault snapshot of the previous TTI (edge detection).
+    faults_active: ActiveFaults,
+    /// Dedicated RNG for fault draws, so injecting faults never perturbs
+    /// the main simulation stream.
+    fault_rng: Rng,
+    fault_counters: FaultStats,
+    auditor: InvariantAuditor,
+    /// Whether delivered-SDU ordering is a valid invariant for this
+    /// configuration (explicit HARQ, priority reset and the SRJF oracle
+    /// all legitimately reorder intra-flow delivery).
+    audit_order: bool,
+    // Byte-conservation ledger terms (exact in UM mode; AM
+    // retransmissions would double-count, so the auditor skips it).
+    injected_bytes: u64,
+    delivered_bytes: u64,
+    dropped_bytes: u64,
+    cn_in_flight_bytes: u64,
+    harq_held_bytes: u64,
 }
 
 impl Cell {
@@ -330,7 +369,14 @@ impl Cell {
         } else {
             MlfqConfig::default()
         };
-        let flow_tables = (0..cfg.n_ues).map(|_| FlowTable::new(mlfq.clone())).collect();
+        let mut flow_tables: Vec<FlowTable> = (0..cfg.n_ues)
+            .map(|_| FlowTable::new(mlfq.clone()))
+            .collect();
+        if let Some(cap) = cfg.max_flow_entries {
+            for ft in &mut flow_tables {
+                ft.set_max_entries(Some(cap));
+            }
+        }
         let levels = if cfg.scheduler.uses_mlfq() {
             cfg.outran.mlfq_queues
         } else if cfg.scheduler.uses_oracle_priority() {
@@ -367,8 +413,20 @@ impl Cell {
         let bandwidth_hz = cfg.channel.radio.bandwidth_khz as f64 * 1e3;
         let metrics = CellMetrics::new(bandwidth_hz, cfg.n_ues, tti, 50, cfg.tf);
         let reset = cfg.outran.priority_reset(Time::ZERO);
+        let audit_order =
+            cfg.harq.is_none() && reset.is_none() && !cfg.scheduler.uses_oracle_priority();
         Cell {
             rng: root.fork(0xCE11),
+            fault_rng: root.fork(0xFA17),
+            faults_active: ActiveFaults::default(),
+            fault_counters: FaultStats::default(),
+            auditor: InvariantAuditor::new(cfg.audit),
+            audit_order,
+            injected_bytes: 0,
+            delivered_bytes: 0,
+            dropped_bytes: 0,
+            cn_in_flight_bytes: 0,
+            harq_held_bytes: 0,
             now: Time::ZERO,
             tti,
             channel,
@@ -381,9 +439,7 @@ impl Cell {
             rlc_rx,
             reset,
             harq: (0..cfg.n_ues)
-                .map(|_| {
-                    outran_phy::harq::HarqQueue::new(cfg.harq.unwrap_or_default())
-                })
+                .map(|_| outran_phy::harq::HarqQueue::new(cfg.harq.unwrap_or_default()))
                 .collect(),
             gbr: Vec::new(),
             gbr_latency: outran_simcore::Percentiles::new(),
@@ -411,25 +467,16 @@ impl Cell {
             }
             SchedulerKind::Srjf => Box::new(SrjfScheduler::with_mode(cfg.srjf_mode)),
             SchedulerKind::Pss => Box::new(PssScheduler::new(n, cfg.tf, tti)),
-            SchedulerKind::Cqa => Box::new(CqaScheduler::new(
-                n,
-                cfg.tf,
-                tti,
-                QosParams::default(),
-            )),
+            SchedulerKind::Cqa => Box::new(CqaScheduler::new(n, cfg.tf, tti, QosParams::default())),
             SchedulerKind::OutRan => Box::new(OutRanScheduler::over_pf(
                 n,
                 cfg.tf,
                 tti,
                 OutRanScheduler::DEFAULT_EPSILON,
             )),
-            SchedulerKind::OutRanEps(e) => {
-                Box::new(OutRanScheduler::over_pf(n, cfg.tf, tti, e))
-            }
+            SchedulerKind::OutRanEps(e) => Box::new(OutRanScheduler::over_pf(n, cfg.tf, tti, e)),
             SchedulerKind::OutRanOverMt(e) => Box::new(OutRanScheduler::over_mt(e)),
-            SchedulerKind::StrictMlfq => {
-                Box::new(OutRanScheduler::over_pf(n, cfg.tf, tti, 1.0))
-            }
+            SchedulerKind::StrictMlfq => Box::new(OutRanScheduler::over_pf(n, cfg.tf, tti, 1.0)),
         }
     }
 
@@ -460,10 +507,9 @@ impl Cell {
             None => FiveTuple::simulated(1_000_000 + id as u64, ue as u16),
         };
         // The connection handshake already sampled one wired+air RTT.
-        let handshake_rtt = Dur(
-            2 * (self.cfg.cn_delay.as_nanos() + self.cfg.ul_air_delay.as_nanos())
-                + self.tti.as_nanos() * 4,
-        );
+        let handshake_rtt = Dur(2
+            * (self.cfg.cn_delay.as_nanos() + self.cfg.ul_air_delay.as_nanos())
+            + self.tti.as_nanos() * 4);
         self.flows.push(FlowRt {
             ue,
             size: bytes,
@@ -473,8 +519,11 @@ impl Cell {
             receiver: TcpReceiver::new(bytes),
             started: false,
             done: false,
+            last_cum: 0,
+            last_progress: at,
         });
-        self.events.schedule(at.max(self.now), Ev::Arrival { flow: id });
+        self.events
+            .schedule(at.max(self.now), Ev::Arrival { flow: id });
         id
     }
 
@@ -509,19 +558,42 @@ impl Cell {
     pub fn step(&mut self) {
         self.now += self.tti;
         let now = self.now;
+        self.auditor.observe_clock(now);
 
-        // 1. Event processing (arrivals, packets, ACKs, STATUS).
+        // 0. Fault engine: flatten the plan at `now` and apply window
+        // edges (flush on RLF/detach entry, capacity clamps, …).
+        if !self.cfg.faults.is_empty() || !self.faults_active.is_quiet() {
+            let active = self.cfg.faults.active_at(now);
+            self.apply_fault_transitions(active);
+        }
+
+        // 1. Event processing (arrivals, packets, ACKs, STATUS). The CN
+        // link faults act here: an outage drops every traversing packet,
+        // a degrade window loses them with probability `cn_loss`.
         while let Some((_, ev)) = self.events.pop_due(now) {
             match ev {
                 Ev::Arrival { flow } => {
                     self.flows[flow].started = true;
                     self.server_emit(flow);
                 }
-                Ev::PktAtEnb { flow, seq, len } => self.on_pkt_at_enb(flow, seq, len),
+                Ev::PktAtEnb { flow, seq, len } => {
+                    self.cn_in_flight_bytes -= len as u64;
+                    if self.cn_link_loses_packet() {
+                        self.dropped_bytes += len as u64;
+                        self.fault_counters.cn_dropped_pkts += 1;
+                        self.fault_counters.cn_dropped_bytes += len as u64;
+                    } else {
+                        self.on_pkt_at_enb(flow, seq, len);
+                    }
+                }
                 Ev::AckAtServer { flow, cum } => {
-                    let f = &mut self.flows[flow];
-                    f.sender.on_ack(now, cum);
-                    self.server_emit(flow);
+                    if self.cn_link_loses_packet() {
+                        self.fault_counters.cn_dropped_pkts += 1;
+                    } else {
+                        let f = &mut self.flows[flow];
+                        f.sender.on_ack(now, cum);
+                        self.server_emit(flow);
+                    }
                 }
                 Ev::StatusAtEnb { ue, status } => {
                     if let RlcTx::Am(am) = &mut self.rlc_tx[ue] {
@@ -545,17 +617,66 @@ impl Cell {
             }
         }
 
-        // 3. Channel evolution.
+        // 2b. Stalled-flow watchdog: a started flow whose cumulative ACK
+        // has not moved for the configured interval gets a forced TCP
+        // timeout (go-back-N refill) — the recovery of last resort when
+        // every in-flight copy of a segment was lost to faults.
+        if let Some(stall) = self.cfg.watchdog {
+            for flow in 0..self.flows.len() {
+                let kick = {
+                    let f = &mut self.flows[flow];
+                    if f.done || !f.started {
+                        continue;
+                    }
+                    let cum = f.receiver.cum();
+                    if cum > f.last_cum {
+                        f.last_cum = cum;
+                        f.last_progress = now;
+                        false
+                    } else {
+                        now.saturating_since(f.last_progress) >= stall
+                    }
+                };
+                if kick && self.faults_active.link_up(self.flows[flow].ue) {
+                    self.flows[flow].last_progress = now;
+                    self.flows[flow].sender.on_rto(now);
+                    self.fault_counters.watchdog_kicks += 1;
+                    self.server_emit(flow);
+                }
+            }
+        }
+
+        // 3. Channel evolution (CQI staleness/corruption pushed first).
+        for ue in 0..self.cfg.n_ues {
+            self.channel
+                .set_cqi_frozen(ue, self.faults_active.cqi_frozen(ue));
+            self.channel
+                .set_cqi_corrupt(ue, self.faults_active.cqi_corrupted(ue));
+        }
         self.channel.advance_tti(now);
 
         // 4. Scheduler inputs — semi-persistent GBR grants are carved
         // out first, so the dynamic scheduler only sees the leftover RBs.
+        // UEs in radio-link failure or detached read as rate 0 everywhere.
         let mut rates = self.build_rates();
+        if !self.faults_active.is_quiet() {
+            for ue in 0..self.cfg.n_ues {
+                if !self.faults_active.link_up(ue) {
+                    for sb in 0..rates.n_sb {
+                        rates.per_ue_sb[ue * rates.n_sb + sb] = 0.0;
+                    }
+                }
+            }
+        }
         self.serve_gbr(&mut rates);
         let ues = self.build_ue_inputs();
 
         // 5. RB allocation.
         let alloc = self.scheduler.allocate(now, &ues, &rates);
+        let used_rbs = alloc.rb_to_ue.iter().filter(|a| a.is_some()).count()
+            + rates.reserved.iter().filter(|&&r| r).count();
+        self.auditor
+            .observe_rbs(now, used_rbs as u32, rates.rb_to_sb.len() as u32);
 
         // 6. Transmission: per-(UE, subband) transport-block groups.
         let had_data: Vec<bool> = ues.iter().map(|u| u.active).collect();
@@ -567,17 +688,35 @@ impl Cell {
         self.housekeeping();
     }
 
+    /// Whether the CN link eats a traversing packet right now (full
+    /// outage, or the degrade-window loss draw).
+    fn cn_link_loses_packet(&mut self) -> bool {
+        if self.faults_active.cn_outage {
+            return true;
+        }
+        self.faults_active.cn_loss > 0.0 && self.fault_rng.chance(self.faults_active.cn_loss)
+    }
+
     /// Let the server push whatever the flow's window allows.
     fn server_emit(&mut self, flow: usize) {
         let now = self.now;
-        let f = &mut self.flows[flow];
-        if f.done {
-            return;
-        }
-        let segs = f.sender.emit(now);
+        let segs = {
+            let f = &mut self.flows[flow];
+            if f.done {
+                return;
+            }
+            f.sender.emit(now)
+        };
+        let delay = self.cfg.cn_delay + self.faults_active.cn_extra_delay;
+        let degraded = self.faults_active.cn_extra_delay > Dur::ZERO;
         for seg in segs {
+            self.injected_bytes += seg.len as u64;
+            self.cn_in_flight_bytes += seg.len as u64;
+            if degraded {
+                self.fault_counters.cn_delayed_pkts += 1;
+            }
             self.events.schedule(
-                now + self.cfg.cn_delay,
+                now + delay,
                 Ev::PktAtEnb {
                     flow,
                     seq: seg.seq,
@@ -595,7 +734,10 @@ impl Cell {
             (f.ue, f.tuple, f.size)
         };
         if self.flows[flow].done {
-            return; // stale retransmission of a completed flow
+            // Stale retransmission of a completed flow: terminal for the
+            // byte ledger.
+            self.dropped_bytes += len as u64;
+            return;
         }
         // PDCP: header inspection + per-flow state + MLFQ marking (§4.2).
         // The SRJF oracle overrides the information-agnostic priority
@@ -623,8 +765,11 @@ impl Cell {
             RlcTx::Um(um) => um.write_sdu(sdu),
             RlcTx::Am(am) => am.write_sdu(sdu),
         };
-        if res.is_err() {
-            self.buffer_drops += 1; // drop-tail: TCP sees the loss
+        if let Err(dropped) = res {
+            // Either the incoming SDU (drop-tail) or a worse-priority
+            // victim (push-out) was discarded: TCP sees the loss.
+            self.buffer_drops += 1;
+            self.dropped_bytes += dropped.remaining() as u64;
         }
     }
 
@@ -643,7 +788,7 @@ impl Cell {
         for g in &mut self.gbr {
             while g.next_gen <= now {
                 g.queue.push_back((g.next_gen, g.bearer.pkt_bytes));
-                g.next_gen = g.next_gen + g.bearer.interval;
+                g.next_gen += g.bearer.interval;
             }
             while let Some(&(gen_at, bytes)) = g.queue.front() {
                 // Rate of the bearer's UE on the next free RB.
@@ -655,8 +800,7 @@ impl Cell {
                 if rb_bits < 8.0 {
                     break; // UE out of range; retry next TTI
                 }
-                let rbs_needed =
-                    ((bytes as f64 * 8.0) / rb_bits).ceil() as usize;
+                let rbs_needed = ((bytes as f64 * 8.0) / rb_bits).ceil() as usize;
                 if next_free_rb + rbs_needed > n_rbs {
                     break;
                 }
@@ -703,6 +847,11 @@ impl Cell {
             // Prune completed flows from the per-UE active list.
             let flows = &self.flows;
             self.flows_by_ue[ue].retain(|&fi| !flows[fi].done);
+            // A UE in radio-link failure or detached cannot be scheduled.
+            if !self.faults_active.link_up(ue) {
+                out.push(UeTti::idle());
+                continue;
+            }
             let (status, hol) = match &self.rlc_tx[ue] {
                 RlcTx::Um(um) => (um.buffer_status(), um.oldest_head_arrival()),
                 RlcTx::Am(am) => (am.buffer_status(), am.oldest_head_arrival()),
@@ -768,16 +917,16 @@ impl Cell {
         let mut delivered = vec![0.0f64; n_ues];
         let now = self.now;
         let explicit_harq = self.cfg.harq.is_some();
+        // A loss-spike window adds to the configured residual loss.
+        let eff_loss = (self.cfg.residual_loss + self.faults_active.extra_loss).min(1.0);
+        let spiking = self.faults_active.extra_loss > 0.0;
         for ue in 0..n_ues {
             if explicit_harq {
                 // Serve due HARQ retransmissions ahead of fresh data,
                 // drawing on the UE's *whole* TTI grant (a retransmitted
                 // TB is not tied to the subband split of this TTI).
                 let mut total: f64 = (0..n_sb).map(|sb| group_bits[ue * n_sb + sb]).sum();
-                loop {
-                    let Some(tb) = self.harq[ue].pop_due(now, total) else {
-                        break;
-                    };
+                while let Some(tb) = self.harq[ue].pop_due(now, total) {
                     total -= tb.bits;
                     transmitted[ue] += tb.bits;
                     // Charge the airtime against the fullest groups.
@@ -802,13 +951,17 @@ impl Cell {
                     // decorrelating the retry from the fade that killed
                     // the original transmission.
                     let sb = (tb.subband + tb.attempts as usize) % n_sb;
+                    let pb = payload_bytes(&tb.payload);
                     if self.channel.transmission_succeeds_with_gain(ue, sb, gain) {
                         delivered[ue] += tb.bits;
+                        self.harq_held_bytes -= pb;
                         self.deliver_payload(ue, tb.payload);
                     } else if self.harq[ue].on_failure(tb, now, self.tti).is_some() {
                         // Block exhausted its attempts: the payload is
                         // lost to the upper layers.
                         self.residual_losses += 1;
+                        self.harq_held_bytes -= pb;
+                        self.dropped_bytes += pb;
                     }
                 }
             }
@@ -837,6 +990,7 @@ impl Cell {
                         if !fresh_ok {
                             // Explicit HARQ: the whole TB awaits retx.
                             self.harq_wasted_tbs += 1;
+                            let pb: u64 = segs.iter().map(|s| s.len as u64).sum();
                             if self.harq[ue]
                                 .on_failure(
                                     outran_phy::harq::HarqTb {
@@ -851,6 +1005,9 @@ impl Cell {
                                 .is_some()
                             {
                                 self.residual_losses += 1;
+                                self.dropped_bytes += pb;
+                            } else {
+                                self.harq_held_bytes += pb;
                             }
                             continue;
                         }
@@ -858,8 +1015,12 @@ impl Cell {
                             // Residual (post-HARQ) loss is per segment:
                             // isolated holes that fast retransmit can
                             // repair, not whole-TB burst losses.
-                            if self.rng.chance(self.cfg.residual_loss) {
+                            if self.rng.chance(eff_loss) {
                                 self.residual_losses += 1;
+                                self.dropped_bytes += seg.len as u64;
+                                if spiking {
+                                    self.fault_counters.spiked_losses += 1;
+                                }
                                 continue;
                             }
                             delivered[ue] += seg.len as f64 * 8.0;
@@ -893,8 +1054,11 @@ impl Cell {
                             }
                             continue;
                         }
-                        if self.rng.chance(self.cfg.residual_loss) {
+                        if self.rng.chance(eff_loss) {
                             self.residual_losses += 1;
+                            if spiking {
+                                self.fault_counters.spiked_losses += 1;
+                            }
                             continue; // PDUs lost; AM will NACK-recover
                         }
                         delivered[ue] += used as f64 * 8.0;
@@ -918,13 +1082,17 @@ impl Cell {
             unreachable!("UM tx with AM rx");
         };
         if let Some(d) = rx.on_segment(&seg, now) {
+            self.delivered_bytes += d.len as u64;
+            if self.audit_order {
+                self.auditor.observe_delivery(now, ue, d.flow_id, d.sdu_id);
+            }
             deliver_sdu_um(
                 &mut self.flows,
                 &mut self.events,
                 &mut self.fct,
                 &mut self.completions,
                 now,
-                self.cfg.cn_delay + self.cfg.ul_air_delay,
+                self.cfg.cn_delay + self.cfg.ul_air_delay + self.faults_active.cn_extra_delay,
                 d,
             );
         }
@@ -944,21 +1112,23 @@ impl Cell {
             };
             let (sdus, status) = rx.on_pdu(pdu, now);
             for d in sdus {
+                self.delivered_bytes += d.len as u64;
+                if self.audit_order {
+                    self.auditor.observe_delivery(now, ue, d.flow_id, d.sdu_id);
+                }
                 deliver_sdu_um(
                     &mut self.flows,
                     &mut self.events,
                     &mut self.fct,
                     &mut self.completions,
                     now,
-                    self.cfg.cn_delay + self.cfg.ul_air_delay,
+                    self.cfg.cn_delay + self.cfg.ul_air_delay + self.faults_active.cn_extra_delay,
                     d,
                 );
             }
             if let Some(status) = status {
-                self.events.schedule(
-                    now + self.cfg.ul_air_delay,
-                    Ev::StatusAtEnb { ue, status },
-                );
+                self.events
+                    .schedule(now + self.cfg.ul_air_delay, Ev::StatusAtEnb { ue, status });
             }
         }
     }
@@ -1004,6 +1174,184 @@ impl Cell {
                 ft.gc(now);
             }
         }
+        // Periodic invariant audit.
+        if self.auditor.due() {
+            let snap = self.audit_snapshot();
+            self.auditor.check(now, &snap);
+        }
+    }
+
+    // ---- fault engine -------------------------------------------------
+
+    /// Diff the new fault snapshot against the previous TTI's and run the
+    /// edge actions: RLC re-establishment on RLF/detach entry, re-attach
+    /// accounting on exit, and RLC capacity clamps for shrink windows.
+    fn apply_fault_transitions(&mut self, active: ActiveFaults) {
+        if active == self.faults_active {
+            return;
+        }
+        let prev = std::mem::replace(&mut self.faults_active, active);
+        for ue in 0..self.cfg.n_ues {
+            let was_down = !prev.link_up(ue);
+            let is_down = !self.faults_active.link_up(ue);
+            if is_down && !was_down {
+                if self.faults_active.in_rlf(ue) {
+                    self.fault_counters.rlf_events += 1;
+                }
+                if self.faults_active.detached(ue) {
+                    self.fault_counters.detach_events += 1;
+                }
+                self.reestablish_ue(ue);
+            } else if was_down && !is_down {
+                self.fault_counters.reattach_events += 1;
+            }
+        }
+        let clamp = |cap: usize| cap.clamp(1, self.cfg.buffer_sdus);
+        let new_cap = self.faults_active.buffer_cap.map(clamp);
+        let old_cap = prev.buffer_cap.map(clamp);
+        if new_cap != old_cap {
+            if new_cap.is_some() && old_cap.is_none() {
+                self.fault_counters.buffer_shrink_events += 1;
+            }
+            let target = new_cap.unwrap_or(self.cfg.buffer_sdus);
+            for ue in 0..self.cfg.n_ues {
+                let (sdus, bytes) = match &mut self.rlc_tx[ue] {
+                    RlcTx::Um(um) => um.set_capacity(target),
+                    RlcTx::Am(am) => am.set_capacity(target),
+                };
+                self.fault_counters.flushed_sdus += sdus;
+                self.fault_counters.flushed_bytes += bytes;
+                self.dropped_bytes += bytes;
+            }
+        }
+    }
+
+    /// RLC re-establishment for one UE (TS 36.322 §5.4): flush both
+    /// entities and the UE's HARQ processes; TCP refills by
+    /// retransmission once the link returns.
+    fn reestablish_ue(&mut self, ue: usize) {
+        let (tx_sdus, tx_bytes) = match &mut self.rlc_tx[ue] {
+            RlcTx::Um(um) => um.reestablish(),
+            RlcTx::Am(am) => am.reestablish(),
+        };
+        let (rx_sdus, rx_bytes) = match &mut self.rlc_rx[ue] {
+            RlcRx::Um(um) => um.reestablish(),
+            RlcRx::Am(am) => am.reestablish(),
+        };
+        // Tx flush bytes are terminal here; rx flush bytes are already
+        // counted by the receiver's own discard ledger.
+        self.dropped_bytes += tx_bytes;
+        for tb in self.harq[ue].clear() {
+            let pb = payload_bytes(&tb.payload);
+            self.harq_held_bytes -= pb;
+            self.dropped_bytes += pb;
+        }
+        self.fault_counters.reestablishments += 1;
+        self.fault_counters.flushed_sdus += tx_sdus + rx_sdus;
+        self.fault_counters.flushed_bytes += tx_bytes + rx_bytes;
+        // SDU ids restart from the flush's perspective: drop order state.
+        self.auditor.forget_ue(ue);
+    }
+
+    /// Assemble the full invariant snapshot. The byte ledger is exact in
+    /// UM mode only: AM retransmissions would double-count, so AM runs
+    /// audit queue depths and ordering but skip conservation.
+    fn audit_snapshot(&self) -> AuditSnapshot {
+        let queue_depths = (0..self.cfg.n_ues)
+            .map(|ue| {
+                let depth = match &self.rlc_tx[ue] {
+                    RlcTx::Um(um) => um.len_sdus(),
+                    RlcTx::Am(am) => am.len_sdus(),
+                };
+                (ue, depth)
+            })
+            .collect();
+        let queue_bound = self
+            .rlc_tx
+            .iter()
+            .map(|tx| match tx {
+                RlcTx::Um(um) => um.capacity_sdus(),
+                RlcTx::Am(am) => am.capacity_sdus(),
+            })
+            .max()
+            .unwrap_or(self.cfg.buffer_sdus);
+        let bytes = (self.cfg.rlc_mode == RlcMode::Um).then(|| {
+            let queued: u64 = self
+                .rlc_tx
+                .iter()
+                .map(|tx| match tx {
+                    RlcTx::Um(um) => um.queued_bytes(),
+                    RlcTx::Am(_) => 0,
+                })
+                .sum();
+            let (held, discarded) = self
+                .rlc_rx
+                .iter()
+                .map(|rx| match rx {
+                    RlcRx::Um(um) => (um.held_bytes(), um.discarded_bytes),
+                    RlcRx::Am(_) => (0, 0),
+                })
+                .fold((0u64, 0u64), |a, b| (a.0 + b.0, a.1 + b.1));
+            ByteLedger {
+                injected: self.injected_bytes,
+                delivered: self.delivered_bytes,
+                dropped: self.dropped_bytes + discarded,
+                in_flight: self.cn_in_flight_bytes + queued + self.harq_held_bytes + held,
+            }
+        });
+        AuditSnapshot {
+            bytes,
+            queue_depths,
+            queue_bound,
+        }
+    }
+
+    /// Run the full invariant check right now (end-of-run hook) and
+    /// return the total violation count so far.
+    pub fn audit_now(&mut self) -> u64 {
+        let snap = self.audit_snapshot();
+        self.auditor.check(self.now, &snap);
+        self.auditor.total_violations()
+    }
+
+    /// Retained invariant violations, in observation order.
+    pub fn violations(&self) -> &[Violation] {
+        self.auditor.violations()
+    }
+
+    /// Total invariant violations observed (including unretained ones).
+    pub fn total_violations(&self) -> u64 {
+        self.auditor.total_violations()
+    }
+
+    /// The invariant auditor (checks run, cleanliness, …).
+    pub fn auditor(&self) -> &InvariantAuditor {
+        &self.auditor
+    }
+
+    /// The current byte-conservation ledger (UM mode only).
+    pub fn byte_ledger(&self) -> Option<ByteLedger> {
+        self.audit_snapshot().bytes
+    }
+
+    /// Fault and recovery counters, merged with the live PHY/PDCP views.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut s = self.fault_counters;
+        s.cqi_frozen_reports = self.channel.cqi_frozen_reports;
+        s.cqi_corrupted_reports = self.channel.cqi_corrupted_reports;
+        s.flows_evicted = self.flow_tables.iter().map(|t| t.evictions()).sum();
+        s
+    }
+
+    /// Export one UE's PDCP flow state — the §7 handover path ("the flow
+    /// state of a user can also be copied along with the data").
+    pub fn export_flow_state(&self, ue: usize) -> Vec<(FiveTuple, u64)> {
+        self.flow_tables[ue].export()
+    }
+
+    /// Import flow state captured from a source cell at handover.
+    pub fn import_flow_state(&mut self, ue: usize, entries: &[(FiveTuple, u64)]) {
+        self.flow_tables[ue].import(entries, self.now);
     }
 
     /// Total flows registered.
@@ -1044,7 +1392,7 @@ impl Cell {
             .iter()
             .filter(|f| f.ue == ue)
             .filter_map(|f| f.sender.last_rtt)
-            .last()
+            .next_back()
     }
 
     /// Mean of the last RTT samples across flows (Fig 17 ①).
@@ -1060,6 +1408,15 @@ impl Cell {
         } else {
             rtts.iter().sum::<f64>() / rtts.len() as f64
         }
+    }
+}
+
+/// Payload bytes a HARQ block holds against the UM byte ledger (AM PDUs
+/// are ledger-exempt: AM runs without conservation auditing).
+fn payload_bytes(p: &HarqPayload) -> u64 {
+    match p {
+        HarqPayload::Um(segs) => segs.iter().map(|s| s.len as u64).sum(),
+        HarqPayload::Am(_) => 0,
     }
 }
 
@@ -1121,7 +1478,12 @@ mod tests {
         cell.schedule_flow(Time::from_millis(10), 0, 50_000, None);
         cell.run_until(Time::from_secs(5));
         let done = cell.take_completions();
-        assert_eq!(done.len(), 1, "flow must complete (drops={})", cell.buffer_drops);
+        assert_eq!(
+            done.len(),
+            1,
+            "flow must complete (drops={})",
+            cell.buffer_drops
+        );
         let d = done[0];
         assert_eq!(d.bytes, 50_000);
         // Sanity: FCT at least two RTT-ish (CN delay both ways).
@@ -1163,7 +1525,12 @@ mod tests {
         let run = || {
             let mut cell = Cell::new(small_cfg(SchedulerKind::OutRan, 7));
             for i in 0..10 {
-                cell.schedule_flow(Time::from_millis(10 + i * 30), (i % 4) as usize, 20_000, None);
+                cell.schedule_flow(
+                    Time::from_millis(10 + i * 30),
+                    (i % 4) as usize,
+                    20_000,
+                    None,
+                );
             }
             cell.run_until(Time::from_secs(6));
             cell.take_completions()
@@ -1214,7 +1581,12 @@ mod tests {
         cfg.residual_loss = 0.01; // exercise NACK recovery
         let mut cell = Cell::new(cfg);
         for i in 0..6 {
-            cell.schedule_flow(Time::from_millis(10 + i * 50), (i % 4) as usize, 30_000, None);
+            cell.schedule_flow(
+                Time::from_millis(10 + i * 50),
+                (i % 4) as usize,
+                30_000,
+                None,
+            );
         }
         cell.run_until(Time::from_secs(10));
         assert_eq!(cell.n_completed(), 6);
@@ -1233,7 +1605,12 @@ mod tests {
     fn metrics_populated() {
         let mut cell = Cell::new(small_cfg(SchedulerKind::Pf, 6));
         for i in 0..8 {
-            cell.schedule_flow(Time::from_millis(10 + i * 20), (i % 4) as usize, 50_000, None);
+            cell.schedule_flow(
+                Time::from_millis(10 + i * 20),
+                (i % 4) as usize,
+                50_000,
+                None,
+            );
         }
         cell.run_until(Time::from_secs(5));
         assert!(cell.metrics.spectral_efficiency() > 0.0);
@@ -1252,7 +1629,11 @@ mod tests {
         cell.run_until(Time::from_secs(8));
         assert_eq!(cell.n_completed(), 2);
         // The flow table saw one tuple with both flows' bytes.
-        assert!(cell.flow_table_entries() <= 1, "entries={}", cell.flow_table_entries());
+        assert!(
+            cell.flow_table_entries() <= 1,
+            "entries={}",
+            cell.flow_table_entries()
+        );
     }
 
     #[test]
@@ -1286,7 +1667,12 @@ mod harq_tests {
         // take several RTO backoffs to finish — allow a long horizon.
         let mut cell = Cell::new(harq_cfg(SchedulerKind::OutRan, 31));
         for i in 0..8u64 {
-            cell.schedule_flow(Time::from_millis(10 + i * 60), (i % 4) as usize, 40_000, None);
+            cell.schedule_flow(
+                Time::from_millis(10 + i * 60),
+                (i % 4) as usize,
+                40_000,
+                None,
+            );
         }
         cell.run_until(Time::from_secs(40));
         assert_eq!(cell.n_completed(), 8);
@@ -1301,7 +1687,12 @@ mod harq_tests {
         cfg.rlc_mode = RlcMode::Am;
         let mut cell = Cell::new(cfg);
         for i in 0..6u64 {
-            cell.schedule_flow(Time::from_millis(10 + i * 80), (i % 4) as usize, 30_000, None);
+            cell.schedule_flow(
+                Time::from_millis(10 + i * 80),
+                (i % 4) as usize,
+                30_000,
+                None,
+            );
         }
         cell.run_until(Time::from_secs(12));
         assert_eq!(cell.n_completed(), 6);
@@ -1312,7 +1703,12 @@ mod harq_tests {
         let run = || {
             let mut cell = Cell::new(harq_cfg(SchedulerKind::OutRan, 33));
             for i in 0..6u64 {
-                cell.schedule_flow(Time::from_millis(10 + i * 50), (i % 4) as usize, 20_000, None);
+                cell.schedule_flow(
+                    Time::from_millis(10 + i * 50),
+                    (i % 4) as usize,
+                    20_000,
+                    None,
+                );
             }
             cell.run_until(Time::from_secs(8));
             cell.take_completions()
@@ -1367,12 +1763,22 @@ impl Cell {
         }
         for (u, h) in self.harq.iter().enumerate() {
             if !h.is_empty() {
-                println!("ue {u} harq pending {} retx_served {} dropped {}", h.len(), h.retx_served, h.dropped_tbs);
+                println!(
+                    "ue {u} harq pending {} retx_served {} dropped {}",
+                    h.len(),
+                    h.retx_served,
+                    h.dropped_tbs
+                );
             }
         }
         for (u, tx) in self.rlc_tx.iter().enumerate() {
-            let q = match tx { RlcTx::Um(um) => um.queued_bytes(), RlcTx::Am(am) => am.buffer_status().total() };
-            if q > 0 { println!("ue {u} rlc queued {q}"); }
+            let q = match tx {
+                RlcTx::Um(um) => um.queued_bytes(),
+                RlcTx::Am(am) => am.buffer_status().total(),
+            };
+            if q > 0 {
+                println!("ue {u} rlc queued {q}");
+            }
         }
     }
 }

@@ -6,6 +6,7 @@
 //! fairness. Every figure's bench binary is a thin loop over this type.
 
 use outran_core::OutRanConfig;
+use outran_faults::{FaultPlan, FaultStats, Violation};
 use outran_phy::Scenario;
 use outran_simcore::{Dur, Rng, Time};
 use outran_transport::TcpConfig;
@@ -33,6 +34,9 @@ pub struct Experiment {
     residual_loss: f64,
     srjf_mode: outran_mac::srjf::SrjfMode,
     harq: Option<outran_phy::harq::HarqConfig>,
+    faults: FaultPlan,
+    watchdog: Option<Dur>,
+    max_flow_entries: Option<usize>,
 }
 
 impl Experiment {
@@ -57,6 +61,9 @@ impl Experiment {
             residual_loss: 0.002,
             srjf_mode: outran_mac::srjf::SrjfMode::Waterfall,
             harq: None,
+            faults: FaultPlan::new(),
+            watchdog: None,
+            max_flow_entries: None,
         }
     }
 
@@ -161,6 +168,25 @@ impl Experiment {
         self
     }
 
+    /// Scripted fault plan consulted each TTI (chaos runs).
+    pub fn faults(mut self, p: FaultPlan) -> Self {
+        self.faults = p;
+        self
+    }
+
+    /// Stalled-flow watchdog: force a retransmission after this long
+    /// without cumulative-ACK progress.
+    pub fn watchdog(mut self, stall: Option<Dur>) -> Self {
+        self.watchdog = stall;
+        self
+    }
+
+    /// Flow-table admission-control cap (LRU eviction beyond it).
+    pub fn max_flow_entries(mut self, cap: Option<usize>) -> Self {
+        self.max_flow_entries = cap;
+        self
+    }
+
     /// Estimated cell capacity in bit/s under the scenario's peak MCS,
     /// derated for typical channel conditions — the anchor for the
     /// load→arrival-rate conversion.
@@ -189,6 +215,9 @@ impl Experiment {
         cfg.residual_loss = self.residual_loss;
         cfg.srjf_mode = self.srjf_mode;
         cfg.harq = self.harq;
+        cfg.faults = self.faults.clone();
+        cfg.watchdog = self.watchdog;
+        cfg.max_flow_entries = self.max_flow_entries;
         let mut cell = Cell::new(cfg);
 
         let mut gen = PoissonFlowGen::new(
@@ -219,6 +248,8 @@ impl Experiment {
         let report = fct.report();
         let se = cell.metrics.spectral_efficiency();
         let fairness = cell.metrics.mean_fairness();
+        // Final invariant sweep so end-of-run state is always audited.
+        cell.audit_now();
         ExperimentReport {
             scheduler: self.scheduler.name(),
             fct: report,
@@ -230,6 +261,10 @@ impl Experiment {
             completed: cell.n_completed(),
             offered: cell.n_flows(),
             buffer_drops: cell.buffer_drops,
+            residual_losses: cell.residual_losses,
+            fault_stats: cell.fault_stats(),
+            violations: cell.violations().to_vec(),
+            total_violations: cell.total_violations(),
             se_cdf: cell.metrics.se_cdf(200),
             fairness_cdf: cell.metrics.fairness_cdf(200),
             se_series: cell.metrics.se_series().to_vec(),
@@ -263,6 +298,14 @@ pub struct ExperimentReport {
     pub offered: usize,
     /// SDUs dropped at full RLC buffers.
     pub buffer_drops: u64,
+    /// Segments lost after HARQ (configured residual + injected spikes).
+    pub residual_losses: u64,
+    /// Injected-fault and recovery-path counters.
+    pub fault_stats: FaultStats,
+    /// Recorded invariant violations (bounded; see `total_violations`).
+    pub violations: Vec<Violation>,
+    /// Total invariant violations, including any past the record cap.
+    pub total_violations: u64,
     /// CDF of windowed spectral-efficiency samples (Fig 7a).
     pub se_cdf: Vec<(f64, f64)>,
     /// CDF of windowed fairness samples (Fig 7b).

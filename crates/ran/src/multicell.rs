@@ -87,11 +87,7 @@ mod tests {
 
     #[test]
     fn colosseum_topology_runs() {
-        let mut mc = MultiCell::colosseum(
-            Scenario::ColosseumRome,
-            SchedulerKind::Pf,
-            0.3,
-        );
+        let mut mc = MultiCell::colosseum(Scenario::ColosseumRome, SchedulerKind::Pf, 0.3);
         mc.duration = Time::from_secs(3);
         mc.n_cells = 2; // keep the unit test fast
         let r = mc.run();

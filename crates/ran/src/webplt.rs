@@ -127,14 +127,7 @@ mod tests {
         let mut cell = small_cell(SchedulerKind::Pf, 1);
         let page = &WebPage::table2()[1]; // google.com
         let mut rng = Rng::new(5);
-        let run = load_page(
-            &mut cell,
-            page,
-            0,
-            BrowserModel::default(),
-            &mut rng,
-            10,
-        );
+        let run = load_page(&mut cell, page, 0, BrowserModel::default(), &mut rng, 10);
         assert_eq!(run.object_fcts.len(), page.n_flows as usize);
         // PLT includes render time and at least a couple of RTTs.
         assert!(run.plt >= Dur::from_millis(page.render_ms));

@@ -161,9 +161,8 @@ impl AmTx {
 
     /// Enqueue a fresh SDU into the Tx Q.
     pub fn write_sdu(&mut self, sdu: RlcSdu) -> Result<(), RlcSdu> {
-        self.txq.push(sdu).map_err(|s| {
+        self.txq.push(sdu).inspect_err(|_s| {
             self.dropped_sdus += 1;
-            s
         })
     }
 
@@ -203,11 +202,7 @@ impl AmTx {
             used += cost;
             self.retx_count += 1;
             pdu.poll = self.should_poll(now);
-            let retx = self
-                .flight
-                .get(&pdu.sn)
-                .map(|(_, r)| *r)
-                .unwrap_or(0);
+            let retx = self.flight.get(&pdu.sn).map(|(_, r)| *r).unwrap_or(0);
             self.flight.insert(pdu.sn, (pdu.clone(), retx));
             out.push(pdu);
         }
@@ -349,6 +344,46 @@ impl AmTx {
     pub fn is_idle(&self) -> bool {
         self.txq.is_empty() && self.retxq.is_empty() && self.ctrlq.is_empty()
     }
+
+    /// Current Tx-Q capacity in SDUs.
+    pub fn capacity_sdus(&self) -> usize {
+        self.txq.capacity()
+    }
+
+    /// Queued Tx-Q SDUs (whole + partial; excludes retx/ctrl PDUs).
+    pub fn len_sdus(&self) -> usize {
+        self.txq.len_sdus()
+    }
+
+    /// Clamp the Tx Q to `capacity_sdus` (mid-run buffer shrink),
+    /// shedding overflow worst-priority first. Returns `(sdus, bytes)`
+    /// shed.
+    pub fn set_capacity(&mut self, capacity_sdus: usize) -> (u64, u64) {
+        let evicted = self.txq.set_capacity(capacity_sdus);
+        let bytes: u64 = evicted.iter().map(|s| s.remaining() as u64).sum();
+        self.dropped_sdus += evicted.len() as u64;
+        (evicted.len() as u64, bytes)
+    }
+
+    /// RLC re-establishment (TS 36.322 §5.4): discard all queues and
+    /// in-flight state, reset sequence numbers and timers. Upper layers
+    /// (TCP) refill via retransmission. Returns `(sdus, bytes)` flushed
+    /// (Tx-Q SDUs plus retransmission-queue PDUs).
+    pub fn reestablish(&mut self) -> (u64, u64) {
+        let flushed = self.txq.flush();
+        let mut bytes: u64 = flushed.iter().map(|s| s.remaining() as u64).sum();
+        let mut sdus = flushed.len() as u64;
+        for p in self.retxq.drain(..) {
+            bytes += p.seg.len as u64;
+            sdus += 1;
+        }
+        self.ctrlq.clear();
+        self.flight.clear();
+        self.next_sn = 0;
+        self.pdus_since_poll = 0;
+        self.poll_outstanding = None;
+        (sdus, bytes)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -482,6 +517,32 @@ impl AmRx {
     /// Next in-sequence SN expected.
     pub fn rx_next(&self) -> u32 {
         self.rx_next
+    }
+
+    /// Payload bytes currently held (out-of-order window + partial
+    /// reassemblies).
+    pub fn held_bytes(&self) -> u64 {
+        self.window.values().map(|p| p.seg.len as u64).sum::<u64>()
+            + self
+                .partials
+                .values()
+                .map(|p| p.received as u64)
+                .sum::<u64>()
+    }
+
+    /// RLC re-establishment: drop the reordering window and partial
+    /// reassemblies, reset sequence state to match a re-established
+    /// transmitter. Returns `(sdus, bytes)` discarded.
+    pub fn reestablish(&mut self) -> (u64, u64) {
+        let sdus = (self.window.len() + self.partials.len()) as u64;
+        let bytes = self.held_bytes();
+        self.window.clear();
+        self.partials.clear();
+        self.rx_next = 0;
+        self.highest_seen = None;
+        self.last_status_at = None;
+        self.status_requested = false;
+        (sdus, bytes)
     }
 }
 

@@ -234,6 +234,55 @@ impl MlfqQueues {
         self.n_sdus += 1;
     }
 
+    /// Current SDU capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity_sdus
+    }
+
+    /// Change the SDU capacity at runtime (mid-run buffer shrink). When
+    /// the buffer is over the new bound, SDUs are shed worst-priority-
+    /// tail first (promoted partials last — evicting a partial guarantees
+    /// a receiver-side reassembly failure, so they go only when whole
+    /// SDUs cannot cover the overshoot). Returns the evicted SDUs so the
+    /// caller can account the lost bytes.
+    pub fn set_capacity(&mut self, capacity_sdus: usize) -> Vec<RlcSdu> {
+        self.capacity_sdus = capacity_sdus;
+        let mut evicted = Vec::new();
+        while self.n_sdus > self.capacity_sdus {
+            let victim_level = (0..self.queues.len())
+                .rev()
+                .find(|&l| !self.queues[l].is_empty());
+            let victim = match victim_level {
+                Some(l) => {
+                    let v = self.queues[l].pop_back().expect("non-empty");
+                    self.bytes[l] -= v.remaining() as u64;
+                    v
+                }
+                None => {
+                    let v = self.promoted.pop_back().expect("n_sdus > 0");
+                    self.promoted_bytes -= v.remaining() as u64;
+                    v
+                }
+            };
+            self.n_sdus -= 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Drain every queued SDU (RLC re-establishment). Returns the flushed
+    /// SDUs so the caller can account the lost bytes.
+    pub fn flush(&mut self) -> Vec<RlcSdu> {
+        let mut out: Vec<RlcSdu> = self.promoted.drain(..).collect();
+        for q in &mut self.queues {
+            out.extend(q.drain(..));
+        }
+        self.promoted_bytes = 0;
+        self.bytes.iter_mut().for_each(|b| *b = 0);
+        self.n_sdus = 0;
+        out
+    }
+
     /// Iterate over all queued SDUs (diagnostics/tests).
     pub fn iter(&self) -> impl Iterator<Item = &RlcSdu> {
         self.promoted.iter().chain(self.queues.iter().flatten())
@@ -247,7 +296,11 @@ impl MlfqQueues {
             .front()
             .map(|s| s.arrival)
             .into_iter()
-            .chain(self.queues.iter().filter_map(|q| q.front().map(|s| s.arrival)))
+            .chain(
+                self.queues
+                    .iter()
+                    .filter_map(|q| q.front().map(|s| s.arrival)),
+            )
             .min()
     }
 }
@@ -269,6 +322,44 @@ mod tests {
             arrival: Time::ZERO,
             seq: 0,
         }
+    }
+
+    #[test]
+    fn set_capacity_sheds_worst_priority_first() {
+        let mut q = MlfqQueues::new(4, 8);
+        for i in 0..6u64 {
+            // Priorities 0,0,1,1,2,2 — higher number = worse.
+            q.push(sdu(i, 100, (i / 2) as u8)).unwrap();
+        }
+        let evicted = q.set_capacity(3);
+        assert_eq!(q.capacity(), 3);
+        assert_eq!(q.len_sdus(), 3);
+        assert_eq!(evicted.len(), 3);
+        // Shed from the worst (highest) priority levels first.
+        assert!(evicted.iter().all(|s| s.priority.0 >= 1), "{evicted:?}");
+        assert_eq!(
+            evicted.iter().filter(|s| s.priority.0 == 2).count(),
+            2,
+            "both P2 SDUs must go before any P1"
+        );
+        // Growing capacity back evicts nothing further.
+        assert!(q.set_capacity(8).is_empty());
+        assert_eq!(q.len_sdus(), 3);
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut q = MlfqQueues::new(4, 16);
+        for i in 0..5u64 {
+            q.push(sdu(i, 80, (i % 4) as u8)).unwrap();
+        }
+        let flushed = q.flush();
+        assert_eq!(flushed.len(), 5);
+        assert_eq!(q.len_sdus(), 0);
+        assert_eq!(q.queued_bytes(), 0);
+        // The queue is reusable after a flush (re-establishment).
+        q.push(sdu(9, 50, 0)).unwrap();
+        assert_eq!(q.len_sdus(), 1);
     }
 
     #[test]

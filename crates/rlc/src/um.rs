@@ -95,9 +95,8 @@ impl UmTx {
     /// Enqueue an SDU; `Err` carries the SDU back when the buffer is full
     /// (the caller treats it as a congestion drop).
     pub fn write_sdu(&mut self, sdu: RlcSdu) -> Result<(), RlcSdu> {
-        self.queues.push(sdu).map_err(|s| {
+        self.queues.push(sdu).inspect_err(|_s| {
             self.dropped_sdus += 1;
-            s
         })
     }
 
@@ -140,6 +139,30 @@ impl UmTx {
         &mut self.queues
     }
 
+    /// Current tx-buffer capacity in SDUs.
+    pub fn capacity_sdus(&self) -> usize {
+        self.queues.capacity()
+    }
+
+    /// Clamp the tx buffer to `capacity_sdus`, shedding overflow worst-
+    /// priority first (mid-run buffer shrink fault). Returns
+    /// `(sdus, bytes)` shed.
+    pub fn set_capacity(&mut self, capacity_sdus: usize) -> (u64, u64) {
+        let evicted = self.queues.set_capacity(capacity_sdus);
+        let bytes: u64 = evicted.iter().map(|s| s.remaining() as u64).sum();
+        self.dropped_sdus += evicted.len() as u64;
+        (evicted.len() as u64, bytes)
+    }
+
+    /// RLC re-establishment (TS 38.322 §5.1.2): discard the whole tx
+    /// buffer; upper layers (TCP) refill via retransmission. Returns
+    /// `(sdus, bytes)` flushed.
+    pub fn reestablish(&mut self) -> (u64, u64) {
+        let flushed = self.queues.flush();
+        let bytes: u64 = flushed.iter().map(|s| s.remaining() as u64).sum();
+        (flushed.len() as u64, bytes)
+    }
+
     /// Oldest head-of-line arrival across the MLFQ (CQA's d_HOL anchor).
     pub fn oldest_head_arrival(&self) -> Option<Time> {
         self.queues.oldest_head_arrival()
@@ -175,6 +198,9 @@ pub struct UmRx {
     partials: HashMap<u64, Partial>,
     /// SDUs discarded because the reassembly window expired (§4.4 hazard).
     pub discarded_sdus: u64,
+    /// Payload bytes that reached this receiver but were discarded with
+    /// their SDU (expiry or gap abort) — byte-conservation accounting.
+    pub discarded_bytes: u64,
     window: Dur,
 }
 
@@ -184,6 +210,7 @@ impl UmRx {
         UmRx {
             partials: HashMap::new(),
             discarded_sdus: 0,
+            discarded_bytes: 0,
             window,
         }
     }
@@ -213,8 +240,10 @@ impl UmRx {
         });
         if seg.offset != p.next_offset {
             // Gap (a middle segment was lost): reassembly cannot succeed.
+            let held = p.received;
             self.partials.remove(&seg.sdu_id);
             self.discarded_sdus += 1;
+            self.discarded_bytes += held as u64 + seg.len as u64;
             return None;
         }
         p.received += seg.len;
@@ -235,15 +264,40 @@ impl UmRx {
     /// SDUs were discarded by this sweep.
     pub fn expire(&mut self, now: Time) -> u64 {
         let before = self.partials.len();
-        self.partials.retain(|_, p| p.deadline > now);
+        let mut freed = 0u64;
+        self.partials.retain(|_, p| {
+            if p.deadline > now {
+                true
+            } else {
+                freed += p.received as u64;
+                false
+            }
+        });
         let dropped = (before - self.partials.len()) as u64;
         self.discarded_sdus += dropped;
+        self.discarded_bytes += freed;
         dropped
     }
 
     /// Number of SDUs currently awaiting more segments.
     pub fn pending(&self) -> usize {
         self.partials.len()
+    }
+
+    /// Payload bytes currently held in partial reassemblies.
+    pub fn held_bytes(&self) -> u64 {
+        self.partials.values().map(|p| p.received as u64).sum()
+    }
+
+    /// RLC re-establishment: drop every partial reassembly. Returns
+    /// `(sdus, bytes)` discarded.
+    pub fn reestablish(&mut self) -> (u64, u64) {
+        let sdus = self.partials.len() as u64;
+        let bytes = self.held_bytes();
+        self.partials.clear();
+        self.discarded_sdus += sdus;
+        self.discarded_bytes += bytes;
+        (sdus, bytes)
     }
 }
 

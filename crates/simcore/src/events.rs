@@ -75,7 +75,9 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|Reverse((Key(t, _), EventBox(e)))| (t, e))
+        self.heap
+            .pop()
+            .map(|Reverse((Key(t, _), EventBox(e)))| (t, e))
     }
 
     /// Pop the earliest event only if it is due at or before `now`.
@@ -128,7 +130,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(Time::from_millis(10), "later");
         q.schedule(Time::from_millis(1), "soon");
-        assert_eq!(q.pop_due(Time::from_millis(5)).map(|(_, e)| e), Some("soon"));
+        assert_eq!(
+            q.pop_due(Time::from_millis(5)).map(|(_, e)| e),
+            Some("soon")
+        );
         assert_eq!(q.pop_due(Time::from_millis(5)), None);
         assert_eq!(q.len(), 1);
         assert_eq!(

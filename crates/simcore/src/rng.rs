@@ -54,7 +54,7 @@ impl Rng {
             .s
             .iter()
             .fold(label ^ 0xA076_1D64_78BD_642F, |acc, &w| {
-                acc.wrapping_mul(0x1000_0000_1B3).wrapping_add(w)
+                acc.wrapping_mul(0x0100_0000_01B3).wrapping_add(w)
             });
         let s = [
             splitmix64(&mut sm),
@@ -68,10 +68,7 @@ impl Rng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];

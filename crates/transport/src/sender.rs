@@ -97,8 +97,8 @@ impl RttEstimator {
                 self.srtt = Some(0.875 * srtt + 0.125 * rtt);
             }
         }
-        self.rto = (self.srtt.unwrap() + (4.0 * self.rttvar).max(0.001))
-            .clamp(self.min_rto, self.max_rto);
+        self.rto =
+            (self.srtt.unwrap() + (4.0 * self.rttvar).max(0.001)).clamp(self.min_rto, self.max_rto);
     }
 
     fn backoff(&mut self) {
@@ -352,10 +352,9 @@ impl TcpSender {
         match self.cfg.algo {
             CcAlgo::Reno => {
                 // +1 MSS per RTT => per-byte share.
-                self.cwnd +=
-                    (self.cfg.mss as f64) * (newly_acked as f64) * self.cfg.mss as f64
-                        / self.cwnd.max(1.0)
-                        / self.cfg.mss as f64;
+                self.cwnd += (self.cfg.mss as f64) * (newly_acked as f64) * self.cfg.mss as f64
+                    / self.cwnd.max(1.0)
+                    / self.cfg.mss as f64;
             }
             CcAlgo::Cubic => {
                 let mss = self.cfg.mss as f64;
@@ -365,13 +364,11 @@ impl TcpSender {
                 let t = now
                     .saturating_since(self.cubic.epoch_start.unwrap())
                     .as_secs_f64();
-                let target_segs = self.cfg.cubic_c * (t - self.cubic.k).powi(3)
-                    + self.cubic.w_max;
+                let target_segs = self.cfg.cubic_c * (t - self.cubic.k).powi(3) + self.cubic.w_max;
                 let target = target_segs * mss;
                 if target > self.cwnd {
                     // Approach the cubic target over one RTT.
-                    let step = (target - self.cwnd) * (newly_acked as f64)
-                        / self.cwnd.max(mss);
+                    let step = (target - self.cwnd) * (newly_acked as f64) / self.cwnd.max(mss);
                     self.cwnd += step.min(mss * (newly_acked as f64) / mss); // ≤ slow-start pace
                 } else {
                     // TCP-friendly minimal growth.
@@ -520,7 +517,10 @@ mod tests {
         // The cubic K for this drop is ~9 s of flow time; run past it.
         for i in 0..800 {
             let segs = s.emit(now);
-            let cum = segs.last().map(|g| g.seq + g.len as u64).unwrap_or(s.snd_nxt);
+            let cum = segs
+                .last()
+                .map(|g| g.seq + g.len as u64)
+                .unwrap_or(s.snd_nxt);
             now += Dur::from_millis(20);
             s.on_ack(now, cum);
             w = s.cwnd();
@@ -543,7 +543,10 @@ mod tests {
         let mut last = 0.0;
         for _ in 0..10 {
             let segs = s.emit(now);
-            let cum = segs.last().map(|g| g.seq + g.len as u64).unwrap_or(s.snd_nxt);
+            let cum = segs
+                .last()
+                .map(|g| g.seq + g.len as u64)
+                .unwrap_or(s.snd_nxt);
             now += Dur::from_millis(20);
             s.on_ack(now, cum);
             let w = s.cwnd();

@@ -67,9 +67,10 @@ impl PoissonFlowGen {
     }
 
     /// Generate the next arrival (strictly increasing times).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> FlowArrival {
         let dt = self.inter.sample(&mut self.rng);
-        self.next_at = self.next_at + Dur::from_secs_f64(dt);
+        self.next_at += Dur::from_secs_f64(dt);
         FlowArrival {
             at: self.next_at,
             bytes: self.dist.sample(&self.cdf, &mut self.rng),
@@ -114,8 +115,7 @@ mod tests {
 
     #[test]
     fn times_strictly_increase() {
-        let mut g =
-            PoissonFlowGen::new(FlowSizeDist::Websearch, 0.4, 50e6, 4, Rng::new(7));
+        let mut g = PoissonFlowGen::new(FlowSizeDist::Websearch, 0.4, 50e6, 4, Rng::new(7));
         let mut prev = Time::ZERO;
         for _ in 0..1000 {
             let a = g.next();
@@ -126,8 +126,7 @@ mod tests {
 
     #[test]
     fn ues_roughly_uniform() {
-        let mut g =
-            PoissonFlowGen::new(FlowSizeDist::LteCellular, 0.6, 100e6, 5, Rng::new(9));
+        let mut g = PoissonFlowGen::new(FlowSizeDist::LteCellular, 0.6, 100e6, 5, Rng::new(9));
         let mut counts = [0usize; 5];
         for _ in 0..10_000 {
             counts[g.next().ue] += 1;
@@ -140,8 +139,7 @@ mod tests {
     #[test]
     fn deterministic_with_seed() {
         let mk = || {
-            let mut g =
-                PoissonFlowGen::new(FlowSizeDist::LteCellular, 0.5, 100e6, 8, Rng::new(11));
+            let mut g = PoissonFlowGen::new(FlowSizeDist::LteCellular, 0.5, 100e6, 8, Rng::new(11));
             (0..100).map(|_| g.next()).collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());
@@ -150,8 +148,7 @@ mod tests {
     #[test]
     fn higher_load_means_more_flows() {
         let count_at = |load: f64| {
-            let mut g =
-                PoissonFlowGen::new(FlowSizeDist::LteCellular, load, 100e6, 8, Rng::new(2));
+            let mut g = PoissonFlowGen::new(FlowSizeDist::LteCellular, load, 100e6, 8, Rng::new(2));
             g.take_until(Time::from_secs(60)).len()
         };
         assert!(count_at(0.8) > count_at(0.4) * 3 / 2);

@@ -23,15 +23,17 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.002);
 
-    println!(
-        "{users} UEs, {secs}s horizon, buffer {buffer} SDUs, residual loss {residual_loss}\n"
-    );
+    println!("{users} UEs, {secs}s horizon, buffer {buffer} SDUs, residual loss {residual_loss}\n");
     println!(
         "{:<6} {:<12} {:>9} {:>10} {:>10} {:>8} {:>9}",
         "load", "scheduler", "S avg", "S p95", "L avg", "SE", "fairness"
     );
     for load in [0.4, 0.6, 0.8] {
-        for kind in [SchedulerKind::Pf, SchedulerKind::OutRan, SchedulerKind::Srjf] {
+        for kind in [
+            SchedulerKind::Pf,
+            SchedulerKind::OutRan,
+            SchedulerKind::Srjf,
+        ] {
             let r = Experiment::lte_default()
                 .users(users)
                 .load(load)

@@ -6,7 +6,11 @@ use outran::ran::{Experiment, SchedulerKind};
 
 fn main() {
     println!("OutRAN quickstart: LTE pedestrian cell, load 0.8, 40 UEs\n");
-    for kind in [SchedulerKind::Pf, SchedulerKind::Srjf, SchedulerKind::OutRan] {
+    for kind in [
+        SchedulerKind::Pf,
+        SchedulerKind::Srjf,
+        SchedulerKind::OutRan,
+    ] {
         let r = Experiment::lte_default()
             .users(40)
             .load(0.8)

@@ -20,13 +20,7 @@ fn main() {
         let cfg = CellConfig::lte_default(12, kind, 7);
         let mut cell = Cell::new(cfg);
         cell.add_gbr_bearer(GbrBearer::volte(0));
-        let mut gen = PoissonFlowGen::new(
-            FlowSizeDist::LteCellular,
-            0.8,
-            87e6,
-            12,
-            Rng::new(0x70),
-        );
+        let mut gen = PoissonFlowGen::new(FlowSizeDist::LteCellular, 0.8, 87e6, 12, Rng::new(0x70));
         for a in gen.take_until(Time::from_secs(15)) {
             cell.schedule_flow(a.at, a.ue, a.bytes, None);
         }

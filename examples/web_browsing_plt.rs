@@ -7,9 +7,9 @@
 //! `page` is an Alexa-top-20 name (default "google.com"); `runs` is the
 //! number of page loads to average (default 5).
 
+use outran::phy::Scenario;
 use outran::ran::cell::{Cell, CellConfig, SchedulerKind};
 use outran::ran::webplt::load_page;
-use outran::phy::Scenario;
 use outran::simcore::{Dur, Rng, Time};
 use outran::workload::{BrowserModel, FlowSizeDist, PoissonFlowGen, WebPage};
 
@@ -39,13 +39,7 @@ fn main() {
         let mut cell = Cell::new(cfg);
         // Background bulk transfers on every UE keep the cell busy
         // (websearch, §6.1) — including the browsing UE itself.
-        let mut bg = PoissonFlowGen::new(
-            FlowSizeDist::Websearch,
-            0.6,
-            87e6,
-            4,
-            Rng::new(0xB6),
-        );
+        let mut bg = PoissonFlowGen::new(FlowSizeDist::Websearch, 0.6, 87e6, 4, Rng::new(0xB6));
         for a in bg.take_until(Time::from_secs(120)) {
             cell.schedule_flow(a.at, a.ue, a.bytes, None);
         }

@@ -41,6 +41,7 @@
 //! ```
 
 pub use outran_core as core;
+pub use outran_faults as faults;
 pub use outran_mac as mac;
 pub use outran_metrics as metrics;
 pub use outran_pdcp as pdcp;

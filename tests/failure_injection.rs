@@ -2,9 +2,10 @@
 //! conservation, eventual TCP recovery — under hostile conditions
 //! (heavy residual loss, starved buffers, outage-grade channels).
 
+use outran::faults::FaultPlan;
 use outran::phy::numerology::RadioConfig;
 use outran::ran::cell::{Cell, CellConfig, RlcMode, SchedulerKind};
-use outran::simcore::Time;
+use outran::simcore::{Dur, Time};
 
 fn tiny_cell(mutator: impl FnOnce(&mut CellConfig)) -> Cell {
     let mut cfg = CellConfig::lte_default(4, SchedulerKind::OutRan, 99);
@@ -18,7 +19,12 @@ fn tiny_cell(mutator: impl FnOnce(&mut CellConfig)) -> Cell {
 fn survives_heavy_residual_loss() {
     let mut cell = tiny_cell(|c| c.residual_loss = 0.15);
     for i in 0..8u64 {
-        cell.schedule_flow(Time::from_millis(10 + i * 50), (i % 4) as usize, 30_000, None);
+        cell.schedule_flow(
+            Time::from_millis(10 + i * 50),
+            (i % 4) as usize,
+            30_000,
+            None,
+        );
     }
     cell.run_until(Time::from_secs(30));
     // 15 % segment loss is brutal but TCP must still finish most flows.
@@ -33,7 +39,12 @@ fn survives_heavy_residual_loss() {
 fn survives_starved_buffer() {
     let mut cell = tiny_cell(|c| c.buffer_sdus = 4);
     for i in 0..6u64 {
-        cell.schedule_flow(Time::from_millis(10 + i * 100), (i % 4) as usize, 100_000, None);
+        cell.schedule_flow(
+            Time::from_millis(10 + i * 100),
+            (i % 4) as usize,
+            100_000,
+            None,
+        );
     }
     cell.run_until(Time::from_secs(40));
     assert!(cell.buffer_drops > 0, "a 4-SDU buffer must drop");
@@ -63,7 +74,12 @@ fn survives_loss_plus_am_retransmission_storm() {
         c.residual_loss = 0.10;
     });
     for i in 0..6u64 {
-        cell.schedule_flow(Time::from_millis(10 + i * 80), (i % 4) as usize, 50_000, None);
+        cell.schedule_flow(
+            Time::from_millis(10 + i * 80),
+            (i % 4) as usize,
+            50_000,
+            None,
+        );
     }
     cell.run_until(Time::from_secs(40));
     assert!(
@@ -93,5 +109,280 @@ fn burst_of_simultaneous_flows() {
         cell.n_completed() >= 190,
         "incast must mostly complete: {}",
         cell.n_completed()
+    );
+}
+
+// ---- scripted fault plans -------------------------------------------------
+//
+// Each scenario runs a small cell under one FaultPlan, asserts the fault
+// actually fired (via the fault counters), that TCP + the recovery paths
+// brought every flow home well after `plan.last_end()`, and that a final
+// invariant sweep (byte conservation, RB accounting, ordering, bounds)
+// reports zero violations.
+
+/// Run `cell` far past the fault plan's last window, then audit.
+fn run_and_audit(cell: &mut Cell, plan_end: Time) -> u64 {
+    let horizon = Time::from_secs(40).max(Time(plan_end.0 * 2));
+    cell.run_until(horizon);
+    cell.audit_now()
+}
+
+#[test]
+fn recovers_from_cn_outage_mid_flow() {
+    let plan = FaultPlan::new().cn_outage(Time::from_millis(150), Time::from_millis(600));
+    let end = plan.last_end();
+    let mut cell = tiny_cell(|c| {
+        c.faults = plan;
+        c.watchdog = Some(Dur::from_millis(500));
+    });
+    for i in 0..8u64 {
+        cell.schedule_flow(
+            Time::from_millis(10 + i * 30),
+            (i % 4) as usize,
+            30_000,
+            None,
+        );
+    }
+    let violations = run_and_audit(&mut cell, end);
+    let s = cell.fault_stats();
+    assert!(
+        s.cn_dropped_pkts > 0,
+        "outage window never dropped a packet"
+    );
+    assert_eq!(
+        cell.n_completed(),
+        8,
+        "flows must finish after the CN outage lifts: {}/8",
+        cell.n_completed()
+    );
+    assert_eq!(violations, 0, "violations: {:?}", cell.violations());
+}
+
+#[test]
+fn survives_stale_and_corrupt_cqi() {
+    let plan = FaultPlan::new()
+        .cqi_freeze(Time::from_millis(100), Time::from_millis(900), None)
+        .cqi_corrupt(Time::from_millis(900), Time::from_millis(1500), None);
+    let end = plan.last_end();
+    let mut cell = tiny_cell(|c| c.faults = plan);
+    for i in 0..8u64 {
+        cell.schedule_flow(
+            Time::from_millis(10 + i * 40),
+            (i % 4) as usize,
+            25_000,
+            None,
+        );
+    }
+    let violations = run_and_audit(&mut cell, end);
+    let s = cell.fault_stats();
+    assert!(
+        s.cqi_frozen_reports > 0,
+        "freeze window never held a report"
+    );
+    assert!(s.cqi_corrupted_reports > 0, "corrupt window never fired");
+    assert!(
+        cell.n_completed() >= 7,
+        "stale CQI must not strand flows: {}/8",
+        cell.n_completed()
+    );
+    assert_eq!(violations, 0, "violations: {:?}", cell.violations());
+}
+
+#[test]
+fn rlf_reestablishment_recovers_the_flow() {
+    // UE 0 loses its radio link mid-transfer; RLC is re-established
+    // (buffers flushed) and the TCP sender must refill them.
+    let plan =
+        FaultPlan::new().radio_link_failure(Time::from_millis(200), Dur::from_millis(400), 0);
+    let end = plan.last_end();
+    let mut cell = tiny_cell(|c| {
+        c.faults = plan;
+        c.watchdog = Some(Dur::from_millis(500));
+    });
+    cell.schedule_flow(Time::from_millis(10), 0, 60_000, None);
+    cell.schedule_flow(Time::from_millis(10), 1, 60_000, None);
+    let violations = run_and_audit(&mut cell, end);
+    let s = cell.fault_stats();
+    assert_eq!(s.rlf_events, 1);
+    assert!(s.reestablishments >= 1, "RLF must re-establish RLC");
+    assert_eq!(
+        cell.n_completed(),
+        2,
+        "both flows must survive the RLF: {}/2",
+        cell.n_completed()
+    );
+    assert_eq!(violations, 0, "violations: {:?}", cell.violations());
+}
+
+#[test]
+fn detach_reattach_churn_recovers() {
+    // UE 2 detaches twice; in-flight data is flushed, TCP retransmits
+    // once the UE re-attaches.
+    let plan = FaultPlan::new()
+        .detach(Time::from_millis(200), Time::from_millis(500), 2)
+        .detach(Time::from_millis(900), Time::from_millis(1200), 2);
+    let end = plan.last_end();
+    let mut cell = tiny_cell(|c| {
+        c.faults = plan;
+        c.watchdog = Some(Dur::from_millis(500));
+    });
+    for i in 0..4u64 {
+        cell.schedule_flow(Time::from_millis(10), i as usize % 4, 40_000, None);
+    }
+    let violations = run_and_audit(&mut cell, end);
+    let s = cell.fault_stats();
+    assert_eq!(s.detach_events, 2);
+    assert_eq!(s.reattach_events, 2);
+    assert_eq!(
+        cell.n_completed(),
+        4,
+        "detach churn must not strand flows: {}/4",
+        cell.n_completed()
+    );
+    assert_eq!(violations, 0, "violations: {:?}", cell.violations());
+}
+
+#[test]
+fn mid_run_buffer_shrink_sheds_and_recovers() {
+    // The RLC buffer collapses to 2 SDUs mid-run: excess SDUs are shed
+    // (accounted as drops), capacity returns when the window ends.
+    let plan = FaultPlan::new().buffer_shrink(Time::from_millis(150), Time::from_millis(800), 2);
+    let end = plan.last_end();
+    let mut cell = tiny_cell(|c| {
+        c.faults = plan;
+        c.watchdog = Some(Dur::from_millis(500));
+    });
+    for i in 0..6u64 {
+        cell.schedule_flow(
+            Time::from_millis(10 + i * 20),
+            (i % 4) as usize,
+            50_000,
+            None,
+        );
+    }
+    let violations = run_and_audit(&mut cell, end);
+    let s = cell.fault_stats();
+    assert_eq!(s.buffer_shrink_events, 1);
+    assert!(
+        cell.n_completed() >= 5,
+        "flows must finish once capacity returns: {}/6",
+        cell.n_completed()
+    );
+    assert_eq!(violations, 0, "violations: {:?}", cell.violations());
+}
+
+#[test]
+fn overload_evicts_flow_state_without_violations() {
+    // Flow-table admission control under a flood of concurrent flows:
+    // state is evicted (LRU), data delivery must be unaffected.
+    let mut cell = tiny_cell(|c| c.max_flow_entries = Some(2));
+    for i in 0..40u64 {
+        cell.schedule_flow(Time::from_millis(10 + i), (i % 4) as usize, 4_000, None);
+    }
+    cell.run_until(Time::from_secs(30));
+    let violations = cell.audit_now();
+    let s = cell.fault_stats();
+    assert!(s.flows_evicted > 0, "cap of 2 must evict under 40 flows");
+    assert!(
+        cell.n_completed() >= 38,
+        "eviction loses marking state, not data: {}/40",
+        cell.n_completed()
+    );
+    assert_eq!(violations, 0, "violations: {:?}", cell.violations());
+}
+
+#[test]
+fn chaos_runs_are_bit_identical() {
+    // Same seed + same plan ⇒ the same completions, byte for byte.
+    let run = || {
+        let plan = FaultPlan::chaos(42, Dur::from_secs(3), 4, 0.8);
+        let end = plan.last_end();
+        let mut cell = tiny_cell(|c| {
+            c.faults = plan;
+            c.watchdog = Some(Dur::from_millis(500));
+        });
+        for i in 0..12u64 {
+            cell.schedule_flow(
+                Time::from_millis(10 + i * 25),
+                (i % 4) as usize,
+                20_000,
+                None,
+            );
+        }
+        let violations = run_and_audit(&mut cell, end);
+        assert_eq!(violations, 0, "violations: {:?}", cell.violations());
+        let dones: Vec<(usize, usize, u64, u64, u64)> = cell
+            .take_completions()
+            .into_iter()
+            .map(|d| (d.id, d.ue, d.bytes, d.spawn.0, d.fct.0))
+            .collect();
+        (dones, cell.fault_stats())
+    };
+    let (a_dones, a_stats) = run();
+    let (b_dones, b_stats) = run();
+    assert_eq!(a_dones, b_dones, "completions diverged across replays");
+    assert_eq!(a_stats, b_stats, "fault counters diverged across replays");
+}
+
+#[test]
+fn handover_state_transfer_during_cn_outage_conserves_bytes() {
+    // §7-style check: a UE is handed over from cell A to cell B while a
+    // CN outage is in force. The PDCP flow-table state exported at the
+    // source and imported at the target must carry every tracked byte
+    // exactly once — no loss, no duplication — and both cells must pass
+    // their invariant audits.
+    let outage = FaultPlan::new().cn_outage(Time::from_millis(100), Time::from_millis(900));
+    let mut src = tiny_cell(|c| {
+        c.faults = outage;
+        c.watchdog = Some(Dur::from_millis(500));
+    });
+    let mut dst = tiny_cell(|_| {});
+
+    for i in 0..6u64 {
+        src.schedule_flow(
+            Time::from_millis(10 + i * 10),
+            (i % 4) as usize,
+            30_000,
+            None,
+        );
+    }
+    // Run into the middle of the outage window, then hand UE 0 over.
+    src.run_until(Time::from_millis(400));
+    let exported = src.export_flow_state(0);
+    assert!(
+        !exported.is_empty(),
+        "UE 0 must have live flow state mid-outage"
+    );
+    let exported_total: u64 = exported.iter().map(|(_, b)| b).sum();
+    assert!(exported_total > 0, "tracked bytes must be non-zero");
+
+    dst.run_until(Time::from_millis(400));
+    dst.import_flow_state(0, &exported);
+    let imported = dst.export_flow_state(0);
+    assert_eq!(
+        exported.len(),
+        imported.len(),
+        "handover must not add or drop flow entries"
+    );
+    let imported_total: u64 = imported.iter().map(|(_, b)| b).sum();
+    assert_eq!(
+        exported_total, imported_total,
+        "handover must conserve tracked bytes exactly"
+    );
+    // Re-importing the same snapshot must be idempotent (no duplication).
+    dst.import_flow_state(0, &exported);
+    let again: u64 = dst.export_flow_state(0).iter().map(|(_, b)| b).sum();
+    assert_eq!(imported_total, again, "re-import duplicated bytes");
+
+    // Both cells keep running past the outage and stay invariant-clean.
+    src.run_until(Time::from_secs(40));
+    dst.run_until(Time::from_secs(40));
+    assert_eq!(src.audit_now(), 0, "src violations: {:?}", src.violations());
+    assert_eq!(dst.audit_now(), 0, "dst violations: {:?}", dst.violations());
+    assert_eq!(
+        src.n_completed(),
+        6,
+        "source flows must complete after the outage: {}/6",
+        src.n_completed()
     );
 }

@@ -64,7 +64,7 @@ proptest! {
                 let _ = retx;
                 // First transmissions may be lost; retransmissions are
                 // recognisable because AmTx counts them.
-                let lose = *li.next().unwrap() && sent % 3 != 0;
+                let lose = *li.next().unwrap() && !sent.is_multiple_of(3);
                 if lose && tx.retx_count == 0 {
                     continue;
                 }

@@ -2,8 +2,8 @@
 //! must produce valid, useful MLFQ configurations for *any* plausible
 //! flow-size distribution, and the priority reset must stay phase-locked.
 
-use outran::core::{optimize_thresholds, PriorityReset};
 use outran::core::thresholds::objective;
+use outran::core::{optimize_thresholds, PriorityReset};
 use outran::simcore::{Dur, Empirical, Time};
 use proptest::prelude::*;
 

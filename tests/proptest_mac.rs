@@ -7,10 +7,7 @@ use outran::pdcp::Priority;
 use outran::simcore::{Dur, Time};
 use proptest::prelude::*;
 
-fn ues_from(
-    active: &[bool],
-    prios: &[u8],
-) -> Vec<UeTti> {
+fn ues_from(active: &[bool], prios: &[u8]) -> Vec<UeTti> {
     active
         .iter()
         .zip(prios)

@@ -32,7 +32,7 @@ proptest! {
                 sent += 1;
                 // First transmissions are dropped on the pattern;
                 // retransmissions always get through.
-                if !seg.is_retx && sent % drop_every == 0 {
+                if !seg.is_retx && sent.is_multiple_of(drop_every) {
                     continue;
                 }
                 acks.push(rx.on_segment(seg.seq, seg.len));
