@@ -17,9 +17,9 @@ use outran_metrics::table::f1;
 use outran_metrics::Table;
 use outran_ran::{Experiment, SchedulerKind};
 
-type CfgMod = Box<dyn Fn(&mut OutRanConfig)>;
+type CfgMod = Box<dyn Fn(&mut OutRanConfig) + Sync>;
 
-fn run(cfgmod: impl Fn(&mut OutRanConfig) + Copy) -> outran_bench::AvgReport {
+fn run(cfgmod: impl Fn(&mut OutRanConfig) + Copy + Sync) -> outran_bench::AvgReport {
     run_avg(
         |seed| {
             let mut oc = OutRanConfig::default();

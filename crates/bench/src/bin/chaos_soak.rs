@@ -41,19 +41,27 @@ fn main() {
         ],
     );
     let mut total_violations = 0u64;
-    for &intensity in &intensities {
-        let plan = FaultPlan::chaos(SEED, Dur::from_secs(SECS), USERS, intensity);
-        let windows = plan.windows().len();
-        let r = Experiment::lte_default()
-            .scheduler(SchedulerKind::OutRan)
-            .users(USERS)
-            .load(0.5)
-            .duration_secs(SECS)
-            .seed(SEED)
-            .faults(plan)
-            .watchdog(Some(Dur::from_millis(750)))
-            .max_flow_entries(Some(256))
-            .run();
+    // Each intensity is an independent seeded experiment: fan them out.
+    let runs = outran_ran::parallel_map(
+        outran_bench::configured_threads(),
+        intensities.to_vec(),
+        |intensity| {
+            let plan = FaultPlan::chaos(SEED, Dur::from_secs(SECS), USERS, intensity);
+            let windows = plan.windows().len();
+            let r = Experiment::lte_default()
+                .scheduler(SchedulerKind::OutRan)
+                .users(USERS)
+                .load(0.5)
+                .duration_secs(SECS)
+                .seed(SEED)
+                .faults(plan)
+                .watchdog(Some(Dur::from_millis(750)))
+                .max_flow_entries(Some(256))
+                .run();
+            (intensity, windows, r)
+        },
+    );
+    for (intensity, windows, r) in runs {
         let survival = if r.offered == 0 {
             100.0
         } else {
@@ -78,7 +86,6 @@ fn main() {
         for v in &r.violations {
             eprintln!("  [chaos_soak] intensity {intensity:.2}: violation: {v}");
         }
-        eprintln!("  [chaos_soak] intensity {intensity:.2} done");
     }
     t.print();
     if total_violations > 0 {

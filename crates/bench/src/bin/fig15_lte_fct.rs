@@ -3,7 +3,7 @@
 //! (a) overall average, (b) short-flow 95th percentile,
 //! (c) medium-flow average, (d) long-flow average.
 
-use outran_bench::{run_avg, AvgReport, SEEDS};
+use outran_bench::{run_avg_grid, AvgReport, SEEDS};
 use outran_metrics::table::f1;
 use outran_metrics::Table;
 use outran_ran::{Experiment, SchedulerKind};
@@ -40,6 +40,22 @@ fn main() {
         "Fig 15 runs: loss / fault health (all loads)",
         &AvgReport::health_headers(),
     );
+    // One grid point per (scheduler, load): the whole figure fans out
+    // across the worker pool in one shot.
+    let points: Vec<(SchedulerKind, f64)> = KINDS
+        .iter()
+        .flat_map(|&k| loads.iter().map(move |&l| (k, l)))
+        .collect();
+    let results = run_avg_grid(points, &SEEDS, |&(kind, load), seed| {
+        Experiment::lte_default()
+            .srjf_mode(outran_mac::SrjfMode::WinnerOnly)
+            .users(40)
+            .load(load)
+            .duration_secs(20)
+            .scheduler(kind)
+            .seed(seed)
+    });
+    let mut it = results.into_iter();
     for kind in KINDS {
         let mut rows: [Vec<String>; 4] = [
             vec![kind.name()],
@@ -48,19 +64,8 @@ fn main() {
             vec![kind.name()],
         ];
         let mut hsum: Option<AvgReport> = None;
-        for &load in &loads {
-            let r = run_avg(
-                |seed| {
-                    Experiment::lte_default()
-                        .srjf_mode(outran_mac::SrjfMode::WinnerOnly)
-                        .users(40)
-                        .load(load)
-                        .duration_secs(20)
-                        .scheduler(kind)
-                        .seed(seed)
-                },
-                &SEEDS,
-            );
+        for _ in &loads {
+            let (_, r) = it.next().expect("grid covers every (kind, load)");
             rows[0].push(f1(r.overall_mean_ms));
             rows[1].push(f1(r.short_p95_ms));
             rows[2].push(f1(r.medium_mean_ms));

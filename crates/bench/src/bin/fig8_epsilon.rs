@@ -3,7 +3,7 @@
 //! baseline at ε = 0. The paper observes steady performance for ε < 0.4
 //! and picks ε = 0.2.
 
-use outran_bench::{run_avg, SEEDS};
+use outran_bench::{run_avg_grid, SEEDS};
 use outran_metrics::table::{f1, f2, f3};
 use outran_metrics::Table;
 use outran_ran::{Experiment, SchedulerKind};
@@ -19,44 +19,29 @@ fn main() {
             "S p95 (ms)",
         ],
     );
-    for eps in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0] {
-        let r = run_avg(
-            |seed| {
-                Experiment::lte_default()
-                    .users(40)
-                    .load(0.6)
-                    .duration_secs(20)
-                    .scheduler(SchedulerKind::OutRanEps(eps))
-                    .seed(seed)
-            },
-            &SEEDS,
-        );
+    // The whole ε sweep (plus the PF reference) is one parallel grid.
+    let mut points: Vec<(String, SchedulerKind)> = [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0]
+        .iter()
+        .map(|&eps| (format!("{eps:.1}"), SchedulerKind::OutRanEps(eps)))
+        .collect();
+    points.push(("PF".into(), SchedulerKind::Pf));
+    let results = run_avg_grid(points, &SEEDS, |(_, kind), seed| {
+        Experiment::lte_default()
+            .users(40)
+            .load(0.6)
+            .duration_secs(20)
+            .scheduler(*kind)
+            .seed(seed)
+    });
+    for ((label, _), r) in results {
         t.row(&[
-            format!("{eps:.1}"),
+            label,
             f2(r.spectral_efficiency),
             f3(r.fairness),
             f1(r.short_mean_ms),
             f1(r.short_p95_ms),
         ]);
     }
-    let pf = run_avg(
-        |seed| {
-            Experiment::lte_default()
-                .users(40)
-                .load(0.6)
-                .duration_secs(20)
-                .scheduler(SchedulerKind::Pf)
-                .seed(seed)
-        },
-        &SEEDS,
-    );
-    t.row(&[
-        "PF".into(),
-        f2(pf.spectral_efficiency),
-        f3(pf.fairness),
-        f1(pf.short_mean_ms),
-        f1(pf.short_p95_ms),
-    ]);
     t.print();
     println!(
         "\npaper: SE/fairness degrade slowly until e≈0.4 then collapse toward\n\

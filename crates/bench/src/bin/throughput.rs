@@ -1,0 +1,187 @@
+//! Simulator throughput baseline — simulated TTIs per wall-clock second
+//! for each scheduler, plus the parallel-sweep speedup, written to
+//! `BENCH_2.json`.
+//!
+//! ```console
+//! cargo run --release -p outran-bench --bin throughput            # measure
+//! cargo run --release -p outran-bench --bin throughput -- \
+//!     --check BENCH_2.json                                        # gate
+//! ```
+//!
+//! `--check FILE` re-measures and fails (exit 1) if any scheduler's
+//! TTIs/sec dropped more than the tolerance (default 25%, override with
+//! `OUTRAN_PERF_TOLERANCE=0.25`) below the figures recorded in FILE.
+//! Absolute TTIs/sec are machine-dependent: gate against a baseline
+//! produced on the same machine (CI measures, then self-checks).
+
+use outran_ran::{Cell, CellConfig, SchedulerKind};
+use outran_simcore::{Dur, Time};
+use std::time::Instant;
+
+/// Simulated horizon per measured run.
+const SIM_SECS: u64 = 5;
+/// UEs in the measured cell.
+const USERS: usize = 16;
+/// Flow sizes cycled by the deterministic workload (bytes).
+const SIZES: [u64; 4] = [2_000, 8_000, 40_000, 200_000];
+/// Deterministic arrival spacing.
+const ARRIVAL_MS: u64 = 10;
+
+const KINDS: [SchedulerKind; 5] = [
+    SchedulerKind::Pf,
+    SchedulerKind::Rr,
+    SchedulerKind::Mt,
+    SchedulerKind::Srjf,
+    SchedulerKind::OutRan,
+];
+
+/// Build the measured cell: the paper's LTE setting under a fixed
+/// deterministic workload (sizes cycling short→long, one arrival every
+/// [`ARRIVAL_MS`] ms on round-robin UEs ≈ load 0.6).
+fn build_cell(kind: SchedulerKind) -> Cell {
+    let cfg = CellConfig::lte_default(USERS, kind, 42);
+    let mut cell = Cell::new(cfg);
+    let horizon = Time::ZERO + Dur::from_secs(SIM_SECS);
+    let mut at = Time::ZERO + Dur::from_millis(5);
+    let mut i = 0usize;
+    while at < horizon {
+        cell.schedule_flow(at, i % USERS, SIZES[i % SIZES.len()], None);
+        at += Dur::from_millis(ARRIVAL_MS);
+        i += 1;
+    }
+    cell
+}
+
+/// Step `cell` to the horizon; returns (TTIs stepped, wall seconds).
+fn run_timed(mut cell: Cell) -> (u64, f64) {
+    let end = Time::ZERO + Dur::from_secs(SIM_SECS);
+    let start = Instant::now();
+    let mut ttis = 0u64;
+    while cell.now() < end {
+        cell.step();
+        ttis += 1;
+    }
+    (ttis, start.elapsed().as_secs_f64())
+}
+
+/// Pull `"ttis_per_sec": <x>` for one scheduler block out of a
+/// previously emitted BENCH_2.json (no serde in the offline build, and
+/// we emit the file ourselves, so a positional scan is exact).
+fn baseline_tps(json: &str, scheduler: &str) -> Option<f64> {
+    let tag = format!("\"scheduler\": \"{scheduler}\"");
+    let at = json.find(&tag)? + tag.len();
+    let rest = &json[at..];
+    let key = "\"ttis_per_sec\": ";
+    let v = &rest[rest.find(key)? + key.len()..];
+    let end = v.find([',', '}', '\n'])?;
+    v[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check: Option<String> = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1).cloned());
+    // Fail on an unreadable baseline *before* spending time measuring.
+    let baseline = check
+        .as_ref()
+        .map(|path| match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("throughput: cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        });
+    let threads = outran_bench::configured_threads();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Warm up caches / page in the binary before timing.
+    let _ = run_timed(build_cell(SchedulerKind::Pf));
+
+    let mut rows = Vec::new();
+    for kind in KINDS {
+        let (ttis, secs) = run_timed(build_cell(kind));
+        let tps = ttis as f64 / secs;
+        eprintln!(
+            "  [throughput] {:<12} {ttis} TTIs in {secs:.3}s = {tps:.0} TTIs/s",
+            kind.name()
+        );
+        rows.push((kind.name(), ttis, secs, tps));
+    }
+
+    // Parallel-sweep wall clock: the same independent jobs serial vs
+    // fanned across the pool (speedup ≈ min(threads, cores) on idle
+    // multi-core machines, ≈ 1 on a single-core box).
+    let jobs: Vec<SchedulerKind> = KINDS.into_iter().chain(KINDS.into_iter().take(3)).collect();
+    let t0 = Instant::now();
+    let _ = outran_ran::parallel_map(1, jobs.clone(), |k| run_timed(build_cell(k)).0);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let _ = outran_ran::parallel_map(threads, jobs.clone(), |k| run_timed(build_cell(k)).0);
+    let parallel_secs = t1.elapsed().as_secs_f64();
+    let speedup = serial_secs / parallel_secs;
+    eprintln!(
+        "  [throughput] sweep of {} jobs: serial {serial_secs:.2}s, \
+         {threads} thread(s) {parallel_secs:.2}s, speedup {speedup:.2}x",
+        jobs.len()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"outran-throughput-v1\",\n");
+    json.push_str(&format!(
+        "  \"threads\": {threads},\n  \"cores\": {cores},\n"
+    ));
+    json.push_str(&format!(
+        "  \"sim_secs\": {SIM_SECS},\n  \"users\": {USERS},\n"
+    ));
+    json.push_str("  \"per_scheduler\": [\n");
+    for (i, (name, ttis, secs, tps)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scheduler\": \"{name}\", \"ttis\": {ttis}, \
+             \"wall_secs\": {secs:.4}, \"ttis_per_sec\": {tps:.1}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"sweep\": {{\"jobs\": {}, \"serial_secs\": {serial_secs:.3}, \
+         \"parallel_secs\": {parallel_secs:.3}, \"speedup\": {speedup:.3}}}\n}}\n",
+        jobs.len()
+    ));
+
+    if let Some(baseline) = baseline {
+        let tolerance: f64 = std::env::var("OUTRAN_PERF_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.25);
+        let mut failed = false;
+        for (name, _, _, tps) in &rows {
+            let Some(base) = baseline_tps(&baseline, name) else {
+                eprintln!("  [throughput] {name}: no baseline entry, skipping");
+                continue;
+            };
+            let floor = base * (1.0 - tolerance);
+            let verdict = if *tps < floor { "REGRESSION" } else { "ok" };
+            if *tps < floor {
+                failed = true;
+            }
+            eprintln!(
+                "  [throughput] {name}: {tps:.0} vs baseline {base:.0} \
+                 (floor {floor:.0}) — {verdict}"
+            );
+        }
+        if failed {
+            eprintln!("throughput: regression beyond {:.0}%", tolerance * 100.0);
+            std::process::exit(1);
+        }
+        println!(
+            "throughput check passed (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    } else {
+        std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+        println!("{json}");
+        eprintln!("  [throughput] wrote BENCH_2.json");
+    }
+}

@@ -61,10 +61,67 @@ pub struct AvgReport {
     pub runs: Vec<ExperimentReport>,
 }
 
-/// Run `build(seed)` for every seed and average the scalar metrics.
-pub fn run_avg(build: impl Fn(u64) -> Experiment, seeds: &[u64]) -> AvgReport {
+/// Worker threads for sweep fan-out: `--threads N` (or `--threads=N`)
+/// on the command line wins, else the `OUTRAN_THREADS` environment
+/// variable, else every available core. Every figure binary inherits
+/// the flag through [`run_avg`] / [`run_avg_grid`].
+pub fn configured_threads() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    threads_from_args(&args).unwrap_or_else(outran_ran::default_threads)
+}
+
+/// Parse `--threads N` / `--threads=N` out of an argument list.
+pub fn threads_from_args(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().ok().filter(|&n| n >= 1);
+        }
+        if a == "--threads" {
+            return it.next()?.parse().ok().filter(|&n| n >= 1);
+        }
+    }
+    None
+}
+
+/// Run `build(seed)` for every seed — fanned across the worker pool —
+/// and average the scalar metrics. Results are ordered by seed, so the
+/// output is identical to the serial loop it replaced.
+pub fn run_avg(build: impl Fn(u64) -> Experiment + Sync, seeds: &[u64]) -> AvgReport {
     assert!(!seeds.is_empty());
-    let runs: Vec<ExperimentReport> = seeds.iter().map(|&s| build(s).run()).collect();
+    let runs = outran_ran::parallel_map(configured_threads(), seeds.to_vec(), |s| build(s).run());
+    average(runs)
+}
+
+/// Run every `(point, seed)` combination of a sweep grid across the
+/// worker pool, then average each point's seeds. One job per
+/// combination keeps all cores busy even when `seeds.len()` is small.
+pub fn run_avg_grid<T, F>(points: Vec<T>, seeds: &[u64], build: F) -> Vec<(T, AvgReport)>
+where
+    T: Send + Sync,
+    F: Fn(&T, u64) -> Experiment + Sync,
+{
+    assert!(!seeds.is_empty());
+    let jobs: Vec<(usize, u64)> = (0..points.len())
+        .flat_map(|p| seeds.iter().map(move |&s| (p, s)))
+        .collect();
+    let runs = {
+        let points = &points;
+        outran_ran::parallel_map(configured_threads(), jobs, |(p, s)| {
+            build(&points[p], s).run()
+        })
+    };
+    let mut it = runs.into_iter();
+    let n_seeds = seeds.len();
+    points
+        .into_iter()
+        .map(|point| (point, average(it.by_ref().take(n_seeds).collect())))
+        .collect()
+}
+
+/// Average already-computed reports (all from the same scheduler).
+pub fn average(runs: Vec<ExperimentReport>) -> AvgReport {
+    assert!(!runs.is_empty());
     let n = runs.len() as f64;
     let mean = |f: &dyn Fn(&ExperimentReport) -> f64| -> f64 {
         let vals: Vec<f64> = runs.iter().map(f).filter(|v| !v.is_nan()).collect();
@@ -186,5 +243,33 @@ mod tests {
         assert!(avg.completed > 0);
         assert!(!avg.fct_row().is_empty());
         assert_eq!(avg.fct_row().len(), AvgReport::fct_headers().len());
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let a = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_from_args(&a(&["bin", "--threads", "8"])), Some(8));
+        assert_eq!(threads_from_args(&a(&["bin", "--threads=2"])), Some(2));
+        assert_eq!(threads_from_args(&a(&["bin", "--threads=0"])), None);
+        assert_eq!(threads_from_args(&a(&["bin", "--threads"])), None);
+        assert_eq!(threads_from_args(&a(&["bin"])), None);
+    }
+
+    #[test]
+    fn grid_matches_run_avg() {
+        let build = |load: &f64, seed: u64| {
+            Experiment::lte_default()
+                .users(4)
+                .load(*load)
+                .duration_secs(2)
+                .scheduler(SchedulerKind::Pf)
+                .seed(seed)
+        };
+        let grid = run_avg_grid(vec![0.2f64, 0.4], &[1, 2], build);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].0, 0.2);
+        let solo = run_avg(|s| build(&0.4, s), &[1, 2]);
+        assert_eq!(grid[1].1.overall_mean_ms, solo.overall_mean_ms);
+        assert_eq!(grid[1].1.completed, solo.completed);
     }
 }

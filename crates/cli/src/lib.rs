@@ -48,8 +48,13 @@ FLAGS (flag value  or  flag=value):
   --harq          explicit HARQ processes (8, rtt 8 TTIs)       [folded]
   --loss X        residual post-HARQ segment loss prob          [0.002]
   --srjf-mode M   waterfall | winner-only | backlog             [waterfall]
+  --reps N        run N seeds (seed..seed+N-1) and average; the
+                  runs fan out across the worker pool            [1]
+  --threads N     worker threads for --reps fan-out              [all cores]
   --cdf B         also print a FCT CDF: short | medium | long | all
+                  (with --reps, prints the first rep's CDF)
   --csv PATH      write per-flow records (size_bytes,fct_ms) to PATH
+                  (with --reps, writes the first rep's records)
   -h, --help      this text
 ";
 
@@ -102,6 +107,10 @@ pub struct Opts {
     pub loss: f64,
     /// SRJF grant mode.
     pub srjf_mode: SrjfMode,
+    /// Independent repetitions (seeds `seed..seed+reps`), averaged.
+    pub reps: usize,
+    /// Worker threads for the `--reps` fan-out.
+    pub threads: usize,
     /// Which FCT CDF to print, if any.
     pub cdf: Option<CdfSel>,
     /// Write per-flow records (size_bytes,fct_ms) to this CSV path.
@@ -142,6 +151,8 @@ impl Default for Opts {
             harq: false,
             loss: 0.002,
             srjf_mode: SrjfMode::Waterfall,
+            reps: 1,
+            threads: outran_ran::default_threads(),
             cdf: None,
             csv: None,
         }
@@ -238,6 +249,8 @@ pub fn parse_args(args: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("unknown srjf mode '{other}'")),
                 };
             }
+            "--reps" => o.reps = parse_num(&next_value(&mut it, flag, inline)?, flag)?,
+            "--threads" => o.threads = parse_num(&next_value(&mut it, flag, inline)?, flag)?,
             "--csv" => {
                 o.csv = Some(next_value(&mut it, flag, inline)?);
             }
@@ -267,6 +280,12 @@ pub fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--intensity must be in [0, 1], got {}",
             o.intensity
         ));
+    }
+    if o.reps == 0 {
+        return Err("--reps must be at least 1".into());
+    }
+    if o.threads == 0 {
+        return Err("--threads must be at least 1".into());
     }
     Ok(o)
 }
@@ -361,9 +380,57 @@ fn build_experiment(o: &Opts) -> Experiment {
 }
 
 fn run_standard(o: &Opts) -> Result<(), String> {
-    let mut r = build_experiment(o).run();
-    print_report(o, &r);
-    finish_report(o, &mut r)
+    if o.reps <= 1 {
+        let mut r = build_experiment(o).run();
+        print_report(o, &r);
+        return finish_report(o, &mut r);
+    }
+    // Fan the repetitions across the worker pool; results come back in
+    // seed order, so the output is reproducible regardless of thread
+    // count or interleaving.
+    let seeds: Vec<u64> = (0..o.reps as u64).map(|i| o.seed + i).collect();
+    let mut reports = outran_ran::parallel_map(o.threads, seeds.clone(), |s| {
+        build_experiment(&Opts {
+            seed: s,
+            ..o.clone()
+        })
+        .run()
+    });
+    println!(
+        "{} reps (seeds {}..{}) on {} thread(s)",
+        o.reps,
+        o.seed,
+        o.seed + o.reps as u64 - 1,
+        o.threads
+    );
+    for (s, r) in seeds.iter().zip(&reports) {
+        println!(
+            "  seed {s}: overall {:.1} ms  S p95 {:.1} ms  completed {}/{}",
+            r.fct.overall_mean_ms, r.fct.short_p95_ms, r.completed, r.offered
+        );
+    }
+    let mean = |f: &dyn Fn(&ExperimentReport) -> f64| -> f64 {
+        let vals: Vec<f64> = reports.iter().map(f).filter(|v| !v.is_nan()).collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    println!(
+        "mean FCT (ms): overall {:.1}  S avg {:.1}  S p95 {:.1}  M {:.1}  L {:.1}",
+        mean(&|r| r.fct.overall_mean_ms),
+        mean(&|r| r.fct.short_mean_ms),
+        mean(&|r| r.fct.short_p95_ms),
+        mean(&|r| r.fct.medium_mean_ms),
+        mean(&|r| r.fct.long_mean_ms)
+    );
+    println!(
+        "mean cell: SE {:.2} bit/s/Hz   fairness {:.3}",
+        mean(&|r| r.spectral_efficiency),
+        mean(&|r| r.fairness)
+    );
+    finish_report(o, &mut reports[0])
 }
 
 fn run_chaos(o: &Opts) -> Result<(), String> {
@@ -553,6 +620,22 @@ mod tests {
         assert!(parse("frobnicate").is_err());
         assert!(parse("chaos --intensity 1.5").is_err());
         assert!(parse("chaos --intensity -0.1").is_err());
+    }
+
+    #[test]
+    fn threads_and_reps_flags() {
+        let o = parse("--reps 3 --threads 2").unwrap();
+        assert_eq!(o.reps, 3);
+        assert_eq!(o.threads, 2);
+        assert!(parse("--reps 0").is_err());
+        assert!(parse("--threads 0").is_err());
+        assert!(Opts::default().threads >= 1);
+    }
+
+    #[test]
+    fn reps_run_smoke() {
+        let o = parse("--users 4 --load 0.3 --secs 2 --scheduler pf --reps 2 --threads 2").unwrap();
+        run(&o).unwrap();
     }
 
     #[test]

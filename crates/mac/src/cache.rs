@@ -1,0 +1,197 @@
+//! Incremental per-UE scheduler-metric cache over CQI subbands.
+//!
+//! The per-RB metric architecture of §4.1 is O(|U|·|B|) per TTI, but two
+//! structural facts make most of that work redundant:
+//!
+//! 1. Reported rates are constant across the RBs of a CQI **subband**
+//!    ([`RateSource::subband_of`]), so a metric that depends only on
+//!    `(ue, rate)` takes at most `|U| × |SB|` distinct values per TTI.
+//! 2. CQI reports arrive on a multi-TTI cadence
+//!    ([`RateSource::rates_version`]), and PF's EWMA only moves when the
+//!    UE's average actually changes, so most `(ue, subband)` rows are
+//!    unchanged between consecutive TTIs.
+//!
+//! [`SubbandMetricCache`] exploits both: it keeps a `|U| × |SB|` matrix
+//! of metric values plus a per-UE `(rates_version, metric_rev)` key, and
+//! only recomputes the rows whose key changed. Ineligible entries
+//! (rate ≤ 0) are stored as [`f64::NEG_INFINITY`] so a strict-`>` argmax
+//! over rows folds the eligibility test into the comparison — `-inf`
+//! can never beat an eligible metric (metrics are strictly positive for
+//! eligible UEs) and never enters an ε-band whose floor is ≥ 0.
+
+use crate::types::{Allocation, RateSource};
+
+/// A `|U| × |SB|` matrix of cached metric values with per-UE validity
+/// keys. See the module docs for the invalidation contract.
+#[derive(Debug, Clone, Default)]
+pub struct SubbandMetricCache {
+    n_sb: usize,
+    rows: Vec<f64>,
+    keys: Vec<Option<(u64, u64)>>,
+    /// Rows served from cache since construction (diagnostics).
+    pub hits: u64,
+    /// Rows recomputed since construction (diagnostics).
+    pub misses: u64,
+}
+
+impl SubbandMetricCache {
+    /// An empty cache; sizes itself on first [`SubbandMetricCache::refresh`].
+    pub fn new() -> SubbandMetricCache {
+        SubbandMetricCache::default()
+    }
+
+    /// Bring the matrix up to date for this TTI.
+    ///
+    /// `metric_rev(ue)` must change whenever the scheduler-side state
+    /// behind `metric` changes for that UE (e.g. PF's EWMA average);
+    /// `metric(ue, rate)` computes the per-RB metric for a strictly
+    /// positive rate. A UE's row is recomputed when either its rate row
+    /// version ([`RateSource::rates_version`]) or its metric revision
+    /// moved — or always, for sources that report no version.
+    pub fn refresh(
+        &mut self,
+        rates: &dyn RateSource,
+        metric_rev: impl Fn(usize) -> u64,
+        metric: impl Fn(usize, f64) -> f64,
+    ) {
+        let n_ues = rates.n_ues();
+        let n_sb = rates.n_subbands();
+        if self.n_sb != n_sb || self.keys.len() != n_ues {
+            self.n_sb = n_sb;
+            self.rows = vec![f64::NEG_INFINITY; n_ues * n_sb];
+            self.keys = vec![None; n_ues];
+        }
+        for ue in 0..n_ues {
+            let key = rates.rates_version(ue).map(|rv| (rv, metric_rev(ue)));
+            if key.is_some() && key == self.keys[ue] {
+                self.hits += 1;
+                continue;
+            }
+            self.misses += 1;
+            self.keys[ue] = key;
+            for sb in 0..n_sb {
+                let r = rates.rate_in_subband(ue, sb);
+                self.rows[ue * n_sb + sb] = if r > 0.0 {
+                    metric(ue, r)
+                } else {
+                    f64::NEG_INFINITY
+                };
+            }
+        }
+    }
+
+    /// The cached metric for `(ue, sb)`; [`f64::NEG_INFINITY`] when the
+    /// UE has no usable rate there.
+    pub fn metric(&self, ue: usize, sb: usize) -> f64 {
+        self.rows[ue * self.n_sb + sb]
+    }
+}
+
+/// Drive a per-subband winner function over the RB grid.
+///
+/// Evaluates `winner_of(sb)` once per *contiguous run* of RBs in the
+/// same subband (subband ids are monotone in RB), assigns each
+/// non-reserved RB of the run to the returned UE at that UE's subband
+/// rate, and skips reserved RBs. Keeping the per-RB `assign` loop (one
+/// f64 add per RB) preserves the exact accumulation order of the old
+/// per-RB schedulers, so allocations stay bit-identical.
+pub fn allocate_by_subband(
+    alloc: &mut Allocation,
+    rates: &dyn RateSource,
+    mut winner_of: impl FnMut(usize) -> Option<u16>,
+) {
+    let mut memo: Option<(usize, Option<u16>)> = None;
+    for rb in 0..rates.n_rbs() {
+        if rates.rb_reserved(rb) {
+            continue;
+        }
+        let sb = rates.subband_of(rb);
+        let w = match memo {
+            Some((s, w)) if s == sb => w,
+            _ => {
+                let w = winner_of(sb);
+                memo = Some((sb, w));
+                w
+            }
+        };
+        if let Some(u) = w {
+            alloc.assign(rb, u, rates.rate_in_subband(u as usize, sb));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FlatRates;
+
+    #[test]
+    fn caches_rows_when_versions_stable() {
+        struct Versioned {
+            inner: FlatRates,
+            vers: Vec<u64>,
+        }
+        impl RateSource for Versioned {
+            fn rate(&self, ue: usize, rb: u16) -> f64 {
+                self.inner.rate(ue, rb)
+            }
+            fn n_rbs(&self) -> u16 {
+                self.inner.n_rbs()
+            }
+            fn n_ues(&self) -> usize {
+                self.inner.n_ues()
+            }
+            fn rates_version(&self, ue: usize) -> Option<u64> {
+                Some(self.vers[ue])
+            }
+        }
+        let mut src = Versioned {
+            inner: FlatRates {
+                per_ue: vec![10.0, 0.0],
+                rbs: 3,
+            },
+            vers: vec![0, 0],
+        };
+        let mut cache = SubbandMetricCache::new();
+        cache.refresh(&src, |_| 0, |_, r| r * 2.0);
+        assert_eq!(cache.metric(0, 1), 20.0);
+        assert_eq!(cache.metric(1, 0), f64::NEG_INFINITY);
+        assert_eq!(cache.misses, 2);
+
+        cache.refresh(&src, |_| 0, |_, r| r * 2.0);
+        assert_eq!(cache.hits, 2);
+
+        // Bump UE 0's rate version: only that row recomputes.
+        src.vers[0] = 1;
+        src.inner.per_ue[0] = 5.0;
+        cache.refresh(&src, |_| 0, |_, r| r * 2.0);
+        assert_eq!(cache.metric(0, 0), 10.0);
+        assert_eq!(cache.misses, 3);
+        assert_eq!(cache.hits, 3);
+    }
+
+    #[test]
+    fn unversioned_sources_always_recompute() {
+        let src = FlatRates {
+            per_ue: vec![1.0],
+            rbs: 2,
+        };
+        let mut cache = SubbandMetricCache::new();
+        cache.refresh(&src, |_| 0, |_, r| r);
+        cache.refresh(&src, |_| 0, |_, r| r);
+        assert_eq!(cache.hits, 0);
+        assert_eq!(cache.misses, 2);
+    }
+
+    #[test]
+    fn allocate_by_subband_matches_per_rb() {
+        let src = FlatRates {
+            per_ue: vec![4.0, 8.0],
+            rbs: 6,
+        };
+        let mut alloc = Allocation::empty(6, 2);
+        allocate_by_subband(&mut alloc, &src, |_| Some(1));
+        assert_eq!(alloc.rbs_used(), 6);
+        assert_eq!(alloc.bits_per_ue[1], 48.0);
+    }
+}

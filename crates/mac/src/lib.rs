@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod classic;
 pub mod outran;
 pub mod pf;
@@ -52,6 +53,7 @@ pub mod qos;
 pub mod srjf;
 pub mod types;
 
+pub use cache::SubbandMetricCache;
 pub use classic::{BetScheduler, MlwdfScheduler};
 pub use outran::OutRanScheduler;
 pub use pf::{MtScheduler, PfCore, PfScheduler, RrScheduler};

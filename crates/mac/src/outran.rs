@@ -19,6 +19,7 @@
 
 use outran_simcore::{Dur, Time};
 
+use crate::cache::{allocate_by_subband, SubbandMetricCache};
 use crate::pf::PfCore;
 use crate::types::{Allocation, RateSource, Scheduler, UeTti};
 
@@ -52,6 +53,7 @@ impl BaseMetric {
 pub struct OutRanScheduler {
     base: BaseMetric,
     epsilon: f64,
+    cache: SubbandMetricCache,
 }
 
 impl OutRanScheduler {
@@ -65,6 +67,7 @@ impl OutRanScheduler {
         OutRanScheduler {
             base: BaseMetric::Pf(PfCore::new(n_ues, tf, tti)),
             epsilon,
+            cache: SubbandMetricCache::new(),
         }
     }
 
@@ -74,6 +77,7 @@ impl OutRanScheduler {
         OutRanScheduler {
             base: BaseMetric::Mt,
             epsilon,
+            cache: SubbandMetricCache::new(),
         }
     }
 
@@ -92,55 +96,63 @@ impl OutRanScheduler {
 
 impl Scheduler for OutRanScheduler {
     fn allocate(&mut self, _now: Time, ues: &[UeTti], rates: &dyn RateSource) -> Allocation {
-        let n_rbs = rates.n_rbs();
-        let mut alloc = Allocation::empty(n_rbs, ues.len());
-        // Scratch reused across RBs to avoid per-RB allocation.
-        let mut metrics: Vec<f64> = vec![0.0; ues.len()];
-        for rb in 0..n_rbs {
+        let mut alloc = Allocation::empty(rates.n_rbs(), ues.len());
+        // Metrics are cached per (UE, subband) and revalidated only when
+        // the UE's rate row or PF average moved; the two Algorithm 1
+        // passes then run once per subband instead of once per RB.
+        let base = &self.base;
+        self.cache.refresh(
+            rates,
+            |u| match base {
+                BaseMetric::Pf(core) => core.rev(u),
+                BaseMetric::Mt => 0,
+            },
+            |u, r| base.metric(u, r),
+        );
+        let cache = &self.cache;
+        let epsilon = self.epsilon;
+        allocate_by_subband(&mut alloc, rates, |sb| {
             // First iteration: legacy best (Algorithm 1 lines 4–8).
+            // Ineligible rows are -inf and can never win the strict
+            // argmax, matching the old per-RB skip.
             let mut m_max = f64::NEG_INFINITY;
             let mut best: Option<usize> = None;
             for (u, ue) in ues.iter().enumerate() {
                 if !ue.active {
-                    metrics[u] = f64::NEG_INFINITY;
                     continue;
                 }
-                let r = rates.rate(u, rb);
-                if r <= 0.0 {
-                    metrics[u] = f64::NEG_INFINITY;
-                    continue;
-                }
-                let m = self.base.metric(u, r);
-                metrics[u] = m;
+                let m = cache.metric(u, sb);
                 if m > m_max {
                     m_max = m;
                     best = Some(u);
                 }
             }
-            let Some(legacy_best) = best else {
-                continue; // no eligible user for this RB
-            };
-            // Second iteration: re-select within the ε band by MLFQ
-            // priority (Algorithm 1 lines 10–16).
-            let floor = (1.0 - self.epsilon) * m_max;
+            let legacy_best = best?; // no eligible user for this subband
+                                     // Second iteration: re-select within the ε band by MLFQ
+                                     // priority (Algorithm 1 lines 10–16).
+            let floor = (1.0 - epsilon) * m_max;
             let mut selected = legacy_best;
             let mut sel_prio = Self::user_prio(&ues[legacy_best]);
             let mut sel_metric = m_max;
             for (u, ue) in ues.iter().enumerate() {
-                if u == legacy_best || metrics[u] < floor {
+                if u == legacy_best || !ue.active {
+                    continue;
+                }
+                let m = cache.metric(u, sb);
+                if m < floor {
                     continue;
                 }
                 let p = Self::user_prio(ue);
                 // Higher MLFQ priority = numerically smaller level. Ties
                 // go to the better metric so ε→0 matches legacy exactly.
-                if p < sel_prio || (p == sel_prio && metrics[u] > sel_metric) {
+                if p < sel_prio || (p == sel_prio && m > sel_metric) {
                     selected = u;
                     sel_prio = p;
-                    sel_metric = metrics[u];
+                    sel_metric = m;
                 }
             }
-            alloc.assign(rb, selected as u16, rates.rate(selected, rb));
-        }
+            Some(selected as u16)
+        });
         alloc
     }
 

@@ -13,6 +13,7 @@
 
 use outran_simcore::{Dur, Ewma, Time};
 
+use crate::cache::{allocate_by_subband, SubbandMetricCache};
 use crate::types::{Allocation, RateSource, Scheduler, UeTti};
 
 /// The PF metric core: per-UE long-term average throughput with a
@@ -21,6 +22,7 @@ use crate::types::{Allocation, RateSource, Scheduler, UeTti};
 #[derive(Debug, Clone)]
 pub struct PfCore {
     avg: Vec<Ewma>,
+    rev: Vec<u64>,
     window_ttis: u64,
 }
 
@@ -30,6 +32,7 @@ impl PfCore {
         let window_ttis = (tf.as_nanos() / tti.as_nanos()).max(1);
         PfCore {
             avg: vec![Ewma::from_window(window_ttis); n_ues],
+            rev: vec![0; n_ues],
             window_ttis,
         }
     }
@@ -59,9 +62,25 @@ impl PfCore {
     /// Fold in the bits served this TTI (0 for unserved UEs — the
     /// standard PF update runs every TTI for every UE).
     pub fn update(&mut self, served_bits: &[f64]) {
-        for (e, &s) in self.avg.iter_mut().zip(served_bits) {
+        for ((e, rev), &s) in self
+            .avg
+            .iter_mut()
+            .zip(self.rev.iter_mut())
+            .zip(served_bits)
+        {
+            let before = e.get();
             e.update(s);
+            if e.get() != before {
+                *rev = rev.wrapping_add(1);
+            }
         }
+    }
+
+    /// Revision counter for `ue`'s metric state: bumped exactly when the
+    /// long-term average behind [`PfCore::metric`] changes, so a stable
+    /// revision guarantees identical metric values for identical rates.
+    pub fn rev(&self, ue: usize) -> u64 {
+        self.rev[ue]
     }
 }
 
@@ -69,6 +88,7 @@ impl PfCore {
 #[derive(Debug, Clone)]
 pub struct PfScheduler {
     core: PfCore,
+    cache: SubbandMetricCache,
 }
 
 impl PfScheduler {
@@ -85,6 +105,7 @@ impl PfScheduler {
     pub fn with_tf(n_ues: usize, tf: Dur, tti: Dur) -> PfScheduler {
         PfScheduler {
             core: PfCore::new(n_ues, tf, tti),
+            cache: SubbandMetricCache::new(),
         }
     }
 
@@ -96,27 +117,29 @@ impl PfScheduler {
 
 impl Scheduler for PfScheduler {
     fn allocate(&mut self, _now: Time, ues: &[UeTti], rates: &dyn RateSource) -> Allocation {
-        let n_rbs = rates.n_rbs();
-        let mut alloc = Allocation::empty(n_rbs, ues.len());
-        for rb in 0..n_rbs {
-            let mut best: Option<(usize, f64, f64)> = None; // (ue, metric, rate)
+        let mut alloc = Allocation::empty(rates.n_rbs(), ues.len());
+        let core = &self.core;
+        self.cache
+            .refresh(rates, |u| core.rev(u), |u, r| core.metric(u, r));
+        let cache = &self.cache;
+        allocate_by_subband(&mut alloc, rates, |sb| {
+            // Strict-`>` argmax from -inf: ineligible rows (rate <= 0,
+            // stored as -inf) can never win, so this matches the old
+            // per-RB loop that skipped them explicitly.
+            let mut best: Option<u16> = None;
+            let mut best_m = f64::NEG_INFINITY;
             for (u, ue) in ues.iter().enumerate() {
                 if !ue.active {
                     continue;
                 }
-                let r = rates.rate(u, rb);
-                if r <= 0.0 {
-                    continue;
-                }
-                let m = self.core.metric(u, r);
-                if best.is_none_or(|(_, bm, _)| m > bm) {
-                    best = Some((u, m, r));
+                let m = cache.metric(u, sb);
+                if m > best_m {
+                    best = Some(u as u16);
+                    best_m = m;
                 }
             }
-            if let Some((u, _, r)) = best {
-                alloc.assign(rb, u as u16, r);
-            }
-        }
+            best
+        });
         alloc
     }
 
@@ -135,26 +158,22 @@ pub struct MtScheduler;
 
 impl Scheduler for MtScheduler {
     fn allocate(&mut self, _now: Time, ues: &[UeTti], rates: &dyn RateSource) -> Allocation {
-        let n_rbs = rates.n_rbs();
-        let mut alloc = Allocation::empty(n_rbs, ues.len());
-        for rb in 0..n_rbs {
-            let mut best: Option<(usize, f64)> = None;
+        let mut alloc = Allocation::empty(rates.n_rbs(), ues.len());
+        allocate_by_subband(&mut alloc, rates, |sb| {
+            let mut best: Option<u16> = None;
+            let mut best_r = 0.0;
             for (u, ue) in ues.iter().enumerate() {
                 if !ue.active {
                     continue;
                 }
-                let r = rates.rate(u, rb);
-                if r <= 0.0 {
-                    continue;
-                }
-                if best.is_none_or(|(_, br)| r > br) {
-                    best = Some((u, r));
+                let r = rates.rate_in_subband(u, sb);
+                if r > best_r {
+                    best = Some(u as u16);
+                    best_r = r;
                 }
             }
-            if let Some((u, r)) = best {
-                alloc.assign(rb, u as u16, r);
-            }
-        }
+            best
+        });
         alloc
     }
 

@@ -49,6 +49,42 @@ pub trait RateSource {
     fn n_rbs(&self) -> u16;
     /// Number of UEs.
     fn n_ues(&self) -> usize;
+
+    /// Number of CQI subbands. Rates are constant across the RBs of a
+    /// subband, so schedulers may evaluate metrics once per subband
+    /// instead of once per RB. Defaults to one subband per RB, which is
+    /// always correct.
+    fn n_subbands(&self) -> usize {
+        self.n_rbs() as usize
+    }
+
+    /// The subband that `rb` belongs to. Must be monotone non-decreasing
+    /// in `rb` and `< n_subbands()`.
+    fn subband_of(&self, rb: u16) -> usize {
+        rb as usize
+    }
+
+    /// Achievable bits-per-RB for `ue` anywhere inside subband `sb`,
+    /// *ignoring* per-RB reservations (see [`RateSource::rb_reserved`]).
+    fn rate_in_subband(&self, ue: usize, sb: usize) -> f64 {
+        self.rate(ue, sb as u16)
+    }
+
+    /// Whether `rb` is reserved (e.g. by a semi-persistent GBR grant)
+    /// and must be skipped by the dynamic scheduler. Reserved RBs report
+    /// `rate() == 0` for every UE; the subband view keeps the real rate
+    /// so caches stay valid, and exposes the reservation here instead.
+    fn rb_reserved(&self, _rb: u16) -> bool {
+        false
+    }
+
+    /// A version stamp for `ue`'s rate row, if the source tracks one.
+    /// Two calls returning the same `Some(v)` guarantee the UE's rates
+    /// (all RBs) are unchanged between them; `None` disables caching for
+    /// that UE. Defaults to `None` (always recompute).
+    fn rates_version(&self, _ue: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// A trivially uniform [`RateSource`] for unit tests.

@@ -16,6 +16,7 @@
 //! §6.3 adds "Priority Boost": resetting all flow states every period S.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use outran_simcore::{Dur, Time};
 
@@ -101,7 +102,9 @@ pub struct FlowState {
 /// The PDCP flow table of one bearer/UE: five-tuple → sent-bytes.
 #[derive(Debug, Clone)]
 pub struct FlowTable {
-    mlfq: MlfqConfig,
+    /// Shared (`Arc`) so a cell's per-UE tables reference one config
+    /// instead of cloning the threshold vector per UE.
+    mlfq: Arc<MlfqConfig>,
     flows: HashMap<FiveTuple, FlowState>,
     /// Idle entries older than this are evicted on [`FlowTable::gc`].
     idle_timeout: Dur,
@@ -117,6 +120,12 @@ impl FlowTable {
 
     /// Create a table with the given MLFQ config.
     pub fn new(mlfq: MlfqConfig) -> FlowTable {
+        FlowTable::shared(Arc::new(mlfq))
+    }
+
+    /// Create a table over an already-shared MLFQ config (the per-UE
+    /// tables of one cell all point at the same thresholds).
+    pub fn shared(mlfq: Arc<MlfqConfig>) -> FlowTable {
         FlowTable {
             mlfq,
             flows: HashMap::new(),
@@ -381,6 +390,16 @@ mod tests {
         ft.set_max_entries(Some(1));
         assert_eq!(ft.len(), 1);
         assert_eq!(ft.evictions(), 2);
+    }
+
+    #[test]
+    fn shared_config_is_not_duplicated() {
+        let cfg = Arc::new(MlfqConfig::default());
+        let a = FlowTable::shared(cfg.clone());
+        let b = FlowTable::shared(cfg.clone());
+        // Two tables + our handle all point at one allocation.
+        assert_eq!(Arc::strong_count(&cfg), 3);
+        assert_eq!(a.mlfq().num_queues(), b.mlfq().num_queues());
     }
 
     #[test]

@@ -127,8 +127,14 @@ pub struct UeChannelState {
     shadow_db: f64,
     /// Reported CQI per subband (what the scheduler sees).
     reported: Vec<Cqi>,
+    /// Version stamp of `reported`: bumped on every delivered report, so
+    /// the MAC can cache per-UE metric rows and revalidate in O(1).
+    reported_rev: u64,
     /// Pending report (measured, not yet delivered — models report delay).
     pending: Vec<Cqi>,
+    /// Whether `pending` holds a measurement not yet delivered (guards
+    /// against re-delivering the same report every TTI).
+    pending_fresh: bool,
     pending_due: Time,
     next_report_at: Time,
     rng: Rng,
@@ -183,7 +189,9 @@ impl CellChannel {
                     fading,
                     shadow_db,
                     reported: vec![Cqi(0); n_subbands],
+                    reported_rev: 0,
                     pending: vec![Cqi(0); n_subbands],
+                    pending_fresh: false,
                     pending_due: Time::ZERO,
                     next_report_at: Time::ZERO,
                     rng,
@@ -206,6 +214,7 @@ impl CellChannel {
             let measured = ch.measure_cqi(u);
             ch.ues[u].reported = measured.clone();
             ch.ues[u].pending = measured;
+            ch.ues[u].reported_rev = 1;
         }
         ch
     }
@@ -269,6 +278,13 @@ impl CellChannel {
     /// CQI the scheduler currently believes for `ue` on subband `sb`.
     pub fn reported_cqi_subband(&self, ue: usize, sb: usize) -> Cqi {
         self.ues[ue].reported[sb]
+    }
+
+    /// Version stamp of `ue`'s reported CQI vector: two equal stamps
+    /// guarantee identical reported rates on every subband, letting the
+    /// MAC revalidate cached metric rows without touching the CQIs.
+    pub fn report_version(&self, ue: usize) -> u64 {
+        self.ues[ue].reported_rev
     }
 
     /// CQI the scheduler currently believes for `ue` on RB `rb`.
@@ -342,9 +358,14 @@ impl CellChannel {
                 }
                 continue;
             }
-            // Deliver a pending report that has aged past the delay.
-            if self.ues[ue].pending_due <= now {
-                self.ues[ue].reported = self.ues[ue].pending.clone();
+            // Deliver a pending report that has aged past the delay —
+            // once per measurement (the fresh flag stops the old
+            // per-TTI re-clone of an already-delivered report).
+            if self.ues[ue].pending_fresh && self.ues[ue].pending_due <= now {
+                let st = &mut self.ues[ue];
+                std::mem::swap(&mut st.reported, &mut st.pending);
+                st.pending_fresh = false;
+                st.reported_rev += 1;
             }
             // Take a new measurement on the reporting period.
             if self.ues[ue].next_report_at <= now {
@@ -361,6 +382,7 @@ impl CellChannel {
                 };
                 let st = &mut self.ues[ue];
                 st.pending = measured;
+                st.pending_fresh = true;
                 st.pending_due = now + tti.mul(self.cfg.cqi_delay_ttis as u64);
                 st.next_report_at = now + tti.mul(self.cfg.cqi_period_ttis as u64);
             }
@@ -523,6 +545,34 @@ mod tests {
             }
         }
         assert!(ever_changed);
+    }
+
+    #[test]
+    fn report_version_tracks_delivered_reports() {
+        // The cache-invalidation contract: while a UE's version stamp is
+        // stable, its reported CQIs must be stable too.
+        let mut ch = small_channel();
+        let tti = ch.config().radio.tti();
+        let mut now = Time::ZERO;
+        let snap = |ch: &CellChannel, u: usize| -> Vec<Cqi> {
+            (0..4).map(|sb| ch.reported_cqi_subband(u, sb)).collect()
+        };
+        let mut last_rev: Vec<u64> = (0..8).map(|u| ch.report_version(u)).collect();
+        let mut last_cqi: Vec<Vec<Cqi>> = (0..8).map(|u| snap(&ch, u)).collect();
+        for _ in 0..500 {
+            now += tti;
+            ch.advance_tti(now);
+            for u in 0..8 {
+                let rev = ch.report_version(u);
+                let cqi = snap(&ch, u);
+                if rev == last_rev[u] {
+                    assert_eq!(cqi, last_cqi[u], "stable version, changed CQIs");
+                }
+                last_rev[u] = rev;
+                last_cqi[u] = cqi;
+            }
+        }
+        assert!(last_rev.iter().any(|&r| r > 1), "versions never advanced");
     }
 
     #[test]

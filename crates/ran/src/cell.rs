@@ -272,13 +272,41 @@ enum RlcRx {
     Am(AmRx),
 }
 
-/// What a HARQ transport block carries in this cell.
-enum HarqPayload {
+/// What a HARQ transport block carries in this cell. The ledger byte
+/// count is cached at construction so the hot path never re-walks the
+/// segment list (AM PDUs are ledger-exempt: AM runs without
+/// conservation auditing).
+struct HarqPayload {
+    bytes: u64,
+    data: HarqData,
+}
+
+enum HarqData {
     Um(Vec<outran_rlc::sdu::RlcSegment>),
     Am(Vec<outran_rlc::am::AmPdu>),
 }
 
+impl HarqPayload {
+    fn um(segs: Vec<outran_rlc::sdu::RlcSegment>) -> HarqPayload {
+        let bytes = segs.iter().map(|s| s.len as u64).sum();
+        HarqPayload {
+            bytes,
+            data: HarqData::Um(segs),
+        }
+    }
+
+    fn am(pdus: Vec<outran_rlc::am::AmPdu>) -> HarqPayload {
+        HarqPayload {
+            bytes: 0,
+            data: HarqData::Am(pdus),
+        }
+    }
+}
+
 /// Per-TTI rate matrix adapter (subband-granular) for the scheduler.
+/// Reused across TTIs: [`Cell::refresh_rates`] rewrites only the rows
+/// whose content version moved.
+#[derive(Default)]
 struct TtiRates {
     per_ue_sb: Vec<f64>,
     rb_to_sb: Vec<usize>,
@@ -288,6 +316,11 @@ struct TtiRates {
     /// as rate 0 to the dynamic scheduler, so every scheduler kind
     /// respects the reservation without trait changes.
     reserved: Vec<bool>,
+    /// Per-UE content version of the `per_ue_sb` row: the delivered CQI
+    /// report version doubled, plus one while the UE's link is down (a
+    /// zeroed row never aliases a live one). Schedulers key their metric
+    /// caches on this.
+    versions: Vec<u64>,
 }
 
 impl RateSource for TtiRates {
@@ -303,6 +336,34 @@ impl RateSource for TtiRates {
     fn n_ues(&self) -> usize {
         self.n_ues
     }
+    fn n_subbands(&self) -> usize {
+        self.n_sb
+    }
+    fn subband_of(&self, rb: u16) -> usize {
+        self.rb_to_sb[rb as usize]
+    }
+    fn rate_in_subband(&self, ue: usize, sb: usize) -> f64 {
+        self.per_ue_sb[ue * self.n_sb + sb]
+    }
+    fn rb_reserved(&self, rb: u16) -> bool {
+        self.reserved[rb as usize]
+    }
+    fn rates_version(&self, ue: usize) -> Option<u64> {
+        Some(self.versions[ue])
+    }
+}
+
+/// Reusable per-TTI buffers: [`Cell::step`] rotates through these
+/// instead of allocating fresh vectors every tick.
+#[derive(Default)]
+struct StepScratch {
+    rates: TtiRates,
+    ues: Vec<UeTti>,
+    had_data: Vec<bool>,
+    group_bits: Vec<f64>,
+    transmitted: Vec<f64>,
+    delivered: Vec<f64>,
+    segs: Vec<outran_rlc::sdu::RlcSegment>,
 }
 
 /// The single-cell simulator.
@@ -355,6 +416,7 @@ pub struct Cell {
     dropped_bytes: u64,
     cn_in_flight_bytes: u64,
     harq_held_bytes: u64,
+    scratch: StepScratch,
 }
 
 impl Cell {
@@ -364,13 +426,15 @@ impl Cell {
         let channel = CellChannel::new(cfg.channel, cfg.n_ues, &root);
         let tti = cfg.channel.radio.tti();
         let scheduler = Self::build_scheduler(&cfg, tti);
-        let mlfq = if cfg.scheduler.uses_mlfq() {
+        // One shared MLFQ config for every per-UE flow table (the config
+        // is identical across UEs; cloning it N times wasted memory).
+        let mlfq = std::sync::Arc::new(if cfg.scheduler.uses_mlfq() {
             cfg.outran.resolve_mlfq()
         } else {
             MlfqConfig::default()
-        };
+        });
         let mut flow_tables: Vec<FlowTable> = (0..cfg.n_ues)
-            .map(|_| FlowTable::new(mlfq.clone()))
+            .map(|_| FlowTable::shared(mlfq.clone()))
             .collect();
         if let Some(cap) = cfg.max_flow_entries {
             for ft in &mut flow_tables {
@@ -451,6 +515,7 @@ impl Cell {
             harq_wasted_tbs: 0,
             residual_losses: 0,
             last_gc: Time::ZERO,
+            scratch: StepScratch::default(),
             cfg,
         }
     }
@@ -657,19 +722,14 @@ impl Cell {
 
         // 4. Scheduler inputs — semi-persistent GBR grants are carved
         // out first, so the dynamic scheduler only sees the leftover RBs.
-        // UEs in radio-link failure or detached read as rate 0 everywhere.
-        let mut rates = self.build_rates();
-        if !self.faults_active.is_quiet() {
-            for ue in 0..self.cfg.n_ues {
-                if !self.faults_active.link_up(ue) {
-                    for sb in 0..rates.n_sb {
-                        rates.per_ue_sb[ue * rates.n_sb + sb] = 0.0;
-                    }
-                }
-            }
-        }
+        // UEs in radio-link failure or detached read as rate 0 everywhere
+        // (folded into the per-UE row version, so a live row is rebuilt
+        // only when a new CQI report lands).
+        let mut rates = std::mem::take(&mut self.scratch.rates);
+        self.refresh_rates(&mut rates);
         self.serve_gbr(&mut rates);
-        let ues = self.build_ue_inputs();
+        let mut ues = std::mem::take(&mut self.scratch.ues);
+        self.build_ue_inputs_into(&mut ues);
 
         // 5. RB allocation.
         let alloc = self.scheduler.allocate(now, &ues, &rates);
@@ -679,10 +739,19 @@ impl Cell {
             .observe_rbs(now, used_rbs as u32, rates.rb_to_sb.len() as u32);
 
         // 6. Transmission: per-(UE, subband) transport-block groups.
-        let had_data: Vec<bool> = ues.iter().map(|u| u.active).collect();
-        let (transmitted_bits, delivered_bits) = self.transmit(&alloc, &rates);
-        self.scheduler.on_served(&transmitted_bits);
-        self.metrics.on_tti(&delivered_bits, &had_data);
+        let mut had_data = std::mem::take(&mut self.scratch.had_data);
+        had_data.clear();
+        had_data.extend(ues.iter().map(|u| u.active));
+        let mut transmitted = std::mem::take(&mut self.scratch.transmitted);
+        let mut delivered = std::mem::take(&mut self.scratch.delivered);
+        self.transmit(&alloc, &rates, &mut transmitted, &mut delivered);
+        self.scheduler.on_served(&transmitted);
+        self.metrics.on_tti(&delivered, &had_data);
+        self.scratch.rates = rates;
+        self.scratch.ues = ues;
+        self.scratch.had_data = had_data;
+        self.scratch.transmitted = transmitted;
+        self.scratch.delivered = delivered;
 
         // 7. Housekeeping.
         self.housekeeping();
@@ -818,31 +887,47 @@ impl Cell {
         }
     }
 
-    fn build_rates(&self) -> TtiRates {
+    /// Bring the reusable rate matrix up to date for this TTI. A UE's
+    /// row is rewritten only when its content version moved: a new CQI
+    /// report was delivered, or the link went down/up (down rows are
+    /// zeros, tagged with an odd version so they never alias live ones).
+    fn refresh_rates(&self, rates: &mut TtiRates) {
         let n_sb = self.cfg.channel.n_subbands;
         let n_ues = self.cfg.n_ues;
-        let mut per_ue_sb = vec![0.0; n_ues * n_sb];
-        for u in 0..n_ues {
-            for sb in 0..n_sb {
-                per_ue_sb[u * n_sb + sb] = self.channel.reported_rate_per_rb_subband(u, sb);
-            }
-        }
-        let rb_to_sb = (0..self.channel.n_rbs())
-            .map(|rb| self.channel.subband_of_rb(rb))
-            .collect();
         let n_rbs = self.channel.n_rbs() as usize;
-        TtiRates {
-            per_ue_sb,
-            rb_to_sb,
-            n_sb,
-            n_ues,
-            reserved: vec![false; n_rbs],
+        if rates.n_sb != n_sb || rates.n_ues != n_ues || rates.rb_to_sb.len() != n_rbs {
+            rates.per_ue_sb = vec![0.0; n_ues * n_sb];
+            rates.rb_to_sb = (0..self.channel.n_rbs())
+                .map(|rb| self.channel.subband_of_rb(rb))
+                .collect();
+            rates.n_sb = n_sb;
+            rates.n_ues = n_ues;
+            rates.versions = vec![u64::MAX; n_ues];
+        }
+        rates.reserved.clear();
+        rates.reserved.resize(n_rbs, false);
+        for u in 0..n_ues {
+            let link_up = self.faults_active.link_up(u);
+            let want = self.channel.report_version(u) * 2 + (!link_up) as u64;
+            if rates.versions[u] == want {
+                continue;
+            }
+            rates.versions[u] = want;
+            let row = &mut rates.per_ue_sb[u * n_sb..(u + 1) * n_sb];
+            if link_up {
+                for (sb, r) in row.iter_mut().enumerate() {
+                    *r = self.channel.reported_rate_per_rb_subband(u, sb);
+                }
+            } else {
+                row.fill(0.0);
+            }
         }
     }
 
-    fn build_ue_inputs(&mut self) -> Vec<UeTti> {
+    fn build_ue_inputs_into(&mut self, out: &mut Vec<UeTti>) {
         let now = self.now;
-        let mut out = Vec::with_capacity(self.cfg.n_ues);
+        out.clear();
+        out.reserve(self.cfg.n_ues);
         for ue in 0..self.cfg.n_ues {
             // Prune completed flows from the per-UE active list.
             let flows = &self.flows;
@@ -852,14 +937,23 @@ impl Cell {
                 out.push(UeTti::idle());
                 continue;
             }
-            let (status, hol) = match &self.rlc_tx[ue] {
-                RlcTx::Um(um) => (um.buffer_status(), um.oldest_head_arrival()),
-                RlcTx::Am(am) => (am.buffer_status(), am.oldest_head_arrival()),
+            // O(1) occupancy reads — no BufferStatus materialisation.
+            let (queued, head_priority, hol) = match &self.rlc_tx[ue] {
+                RlcTx::Um(um) => (
+                    um.queued_bytes(),
+                    um.head_priority(),
+                    um.oldest_head_arrival(),
+                ),
+                RlcTx::Am(am) => (
+                    am.pending_bytes(),
+                    am.head_priority(),
+                    am.oldest_head_arrival(),
+                ),
             };
             // Pending HARQ retransmissions keep a UE schedulable even
             // with an empty RLC buffer.
             let harq_pending = !self.harq[ue].is_empty();
-            if !status.has_data() && !harq_pending {
+            if queued == 0 && !harq_pending {
                 out.push(UeTti::idle());
                 continue;
             }
@@ -879,14 +973,13 @@ impl Cell {
             }
             out.push(UeTti {
                 active: true,
-                head_priority: status.head_priority(),
-                queued_bytes: status.total(),
+                head_priority,
+                queued_bytes: queued,
                 oracle_min_remaining: min_remaining,
                 hol_delay: hol.map_or(Dur::ZERO, |a| now.saturating_since(a)),
                 oracle_has_qos_flow: has_qos,
             });
         }
-        out
     }
 
     /// Serve the allocation: pull RLC data per (UE, subband) group, draw
@@ -902,10 +995,18 @@ impl Cell {
     ///   after the HARQ RTT with chase-combining gain, and are dropped
     ///   to the residual-loss path after `max_tx` attempts. Due
     ///   retransmissions are served ahead of fresh data.
-    fn transmit(&mut self, alloc: &Allocation, rates: &TtiRates) -> (Vec<f64>, Vec<f64>) {
+    fn transmit(
+        &mut self,
+        alloc: &Allocation,
+        rates: &TtiRates,
+        transmitted: &mut Vec<f64>,
+        delivered: &mut Vec<f64>,
+    ) {
         let n_ues = self.cfg.n_ues;
         let n_sb = self.cfg.channel.n_subbands;
-        let mut group_bits = vec![0.0f64; n_ues * n_sb];
+        let mut group_bits = std::mem::take(&mut self.scratch.group_bits);
+        group_bits.clear();
+        group_bits.resize(n_ues * n_sb, 0.0);
         for (rb, assigned) in alloc.rb_to_ue.iter().enumerate() {
             if let Some(ue) = assigned {
                 let u = *ue as usize;
@@ -913,8 +1014,11 @@ impl Cell {
                 group_bits[u * n_sb + sb] += rates.per_ue_sb[u * n_sb + sb];
             }
         }
-        let mut transmitted = vec![0.0f64; n_ues];
-        let mut delivered = vec![0.0f64; n_ues];
+        transmitted.clear();
+        transmitted.resize(n_ues, 0.0);
+        delivered.clear();
+        delivered.resize(n_ues, 0.0);
+        let mut segs = std::mem::take(&mut self.scratch.segs);
         let now = self.now;
         let explicit_harq = self.cfg.harq.is_some();
         // A loss-spike window adds to the configured residual loss.
@@ -951,7 +1055,7 @@ impl Cell {
                     // decorrelating the retry from the fade that killed
                     // the original transmission.
                     let sb = (tb.subband + tb.attempts as usize) % n_sb;
-                    let pb = payload_bytes(&tb.payload);
+                    let pb = tb.payload.bytes;
                     if self.channel.transmission_succeeds_with_gain(ue, sb, gain) {
                         delivered[ue] += tb.bits;
                         self.harq_held_bytes -= pb;
@@ -982,7 +1086,8 @@ impl Cell {
                 let budget = (budget_bits / 8.0).floor() as u64;
                 match &mut self.rlc_tx[ue] {
                     RlcTx::Um(um) => {
-                        let (segs, used) = um.pull(budget);
+                        segs.clear();
+                        let used = um.pull_into(&mut segs, budget);
                         if segs.is_empty() {
                             continue;
                         }
@@ -990,11 +1095,12 @@ impl Cell {
                         if !fresh_ok {
                             // Explicit HARQ: the whole TB awaits retx.
                             self.harq_wasted_tbs += 1;
-                            let pb: u64 = segs.iter().map(|s| s.len as u64).sum();
+                            let payload = HarqPayload::um(std::mem::take(&mut segs));
+                            let pb = payload.bytes;
                             if self.harq[ue]
                                 .on_failure(
                                     outran_phy::harq::HarqTb {
-                                        payload: HarqPayload::Um(segs),
+                                        payload,
                                         bits: used as f64 * 8.0,
                                         subband: sb,
                                         attempts: 1,
@@ -1011,7 +1117,7 @@ impl Cell {
                             }
                             continue;
                         }
-                        for seg in segs {
+                        for seg in segs.drain(..) {
                             // Residual (post-HARQ) loss is per segment:
                             // isolated holes that fast retransmit can
                             // repair, not whole-TB burst losses.
@@ -1038,7 +1144,7 @@ impl Cell {
                             if self.harq[ue]
                                 .on_failure(
                                     outran_phy::harq::HarqTb {
-                                        payload: HarqPayload::Am(pdus),
+                                        payload: HarqPayload::am(pdus),
                                         bits: used as f64 * 8.0,
                                         subband: sb,
                                         attempts: 1,
@@ -1067,7 +1173,8 @@ impl Cell {
                 }
             }
         }
-        (transmitted, delivered)
+        self.scratch.group_bits = group_bits;
+        self.scratch.segs = segs;
     }
 
     /// Deliver one UM segment into the UE stack (reassembly + TCP).
@@ -1135,13 +1242,13 @@ impl Cell {
 
     /// Deliver a HARQ-recovered transport block.
     fn deliver_payload(&mut self, ue: usize, payload: HarqPayload) {
-        match payload {
-            HarqPayload::Um(segs) => {
+        match payload.data {
+            HarqData::Um(segs) => {
                 for seg in segs {
                     self.deliver_um_segment(ue, seg);
                 }
             }
-            HarqPayload::Am(pdus) => self.deliver_am_pdus(ue, pdus),
+            HarqData::Am(pdus) => self.deliver_am_pdus(ue, pdus),
         }
     }
 
@@ -1242,7 +1349,7 @@ impl Cell {
         // counted by the receiver's own discard ledger.
         self.dropped_bytes += tx_bytes;
         for tb in self.harq[ue].clear() {
-            let pb = payload_bytes(&tb.payload);
+            let pb = tb.payload.bytes;
             self.harq_held_bytes -= pb;
             self.dropped_bytes += pb;
         }
@@ -1408,15 +1515,6 @@ impl Cell {
         } else {
             rtts.iter().sum::<f64>() / rtts.len() as f64
         }
-    }
-}
-
-/// Payload bytes a HARQ block holds against the UM byte ledger (AM PDUs
-/// are ledger-exempt: AM runs without conservation auditing).
-fn payload_bytes(p: &HarqPayload) -> u64 {
-    match p {
-        HarqPayload::Um(segs) => segs.iter().map(|s| s.len as u64).sum(),
-        HarqPayload::Am(_) => 0,
     }
 }
 

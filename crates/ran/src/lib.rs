@@ -20,6 +20,9 @@
 //!   (Figures 12/21/22): object fetches over a loaded cell, ≤6
 //!   concurrent connections, HTML-first, render time.
 //! * [`multicell`] — the Colosseum-style multi-cell wrapper (Figure 19).
+//! * [`pool`] — a std-only scoped-thread worker pool for fanning
+//!   independent experiment cells across cores with bit-identical
+//!   results versus serial execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,9 +30,11 @@
 pub mod cell;
 pub mod experiment;
 pub mod multicell;
+pub mod pool;
 pub mod qos;
 pub mod webplt;
 
 pub use cell::{Cell, CellConfig, FlowDone, RlcMode, SchedulerKind};
 pub use experiment::{Experiment, ExperimentReport};
+pub use pool::{default_threads, parallel_map};
 pub use qos::{AppKind, BearerKind, QosProfile, TrafficClass};

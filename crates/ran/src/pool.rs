@@ -1,0 +1,128 @@
+//! A std-only scoped-thread worker pool for fanning independent
+//! experiment cells (scenario × load × replication × scheduler) across
+//! cores.
+//!
+//! Design constraints (see DESIGN.md "Performance model"):
+//!
+//! * **No new dependencies.** The workspace builds offline against
+//!   `crates/compat/*` shims, so the pool is built from
+//!   [`std::thread::scope`] plus a [`Mutex`]-guarded job queue. No
+//!   `rayon`, no channels beyond std.
+//! * **Bit-identical to serial execution.** Each job is a pure function
+//!   of its input (every `Experiment::run()` forks its own RNG tree from
+//!   the root seed), so the only thing parallelism could perturb is
+//!   *ordering*. Jobs carry their index and results are sorted back into
+//!   submission order before returning, making `parallel_map` an exact
+//!   drop-in for `items.into_iter().map(f).collect()`.
+//! * **Panic propagation.** A worker panic propagates out of
+//!   [`std::thread::scope`], so a failing experiment still fails the
+//!   sweep loudly instead of hanging.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The default worker count: the `OUTRAN_THREADS` environment variable
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism, otherwise 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("OUTRAN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `threads` worker threads, returning the
+/// results in submission order.
+///
+/// With `threads <= 1` (or a single item) this degrades to a plain serial
+/// map on the calling thread — no pool is spun up, which keeps the serial
+/// path trivially identical and cheap for small sweeps.
+pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let jobs: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    let f = &f;
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = jobs.lock().expect("job queue poisoned").pop_front();
+                match job {
+                    Some((idx, item)) => {
+                        let out = f(item);
+                        results
+                            .lock()
+                            .expect("result sink poisoned")
+                            .push((idx, out));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    let mut out = results.into_inner().expect("result sink poisoned");
+    out.sort_by_key(|&(idx, _)| idx);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = parallel_map(threads, items.clone(), |x| x * x);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u64> = parallel_map(4, Vec::<u64>::new(), |x| x);
+        assert!(empty.is_empty());
+        let one = parallel_map(4, vec![7u64], |x| x + 1);
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map(16, vec![1, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        parallel_map(2, vec![0, 1, 2, 3], |x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -330,6 +330,19 @@ impl AmTx {
         self.txq.head_priority()
     }
 
+    /// Total pending bytes (ctrl + retx + Tx Q) — equals
+    /// `buffer_status().total()` without materialising the per-priority
+    /// vector, for the per-TTI MAC input scan.
+    pub fn pending_bytes(&self) -> u64 {
+        let retx_bytes: u64 = self
+            .retxq
+            .iter()
+            .map(|p| p.seg.len as u64 + self.cfg.header_bytes as u64)
+            .sum();
+        let ctrl: u64 = self.ctrlq.iter().map(|&b| b as u64).sum();
+        ctrl + retx_bytes + self.txq.queued_bytes()
+    }
+
     /// Unacknowledged PDUs in flight.
     pub fn in_flight(&self) -> usize {
         self.flight.len()
@@ -569,6 +582,30 @@ mod tests {
             header_bytes: 0,
             ..AmConfig::default()
         }
+    }
+
+    #[test]
+    fn pending_bytes_matches_buffer_status_total() {
+        let mut tx = AmTx::new(AmConfig::default());
+        let mut rx = AmRx::new(AmConfig::default());
+        for i in 0..4 {
+            tx.write_sdu(sdu(i, 1000, (i % 2) as u8)).unwrap();
+        }
+        assert_eq!(tx.pending_bytes(), tx.buffer_status().total());
+        let (pdus, _, _) = tx.pull(2500, Time::ZERO);
+        assert_eq!(tx.pending_bytes(), tx.buffer_status().total());
+        // Lose the first PDU so a retx lands on the queues too.
+        let mut status = None;
+        for p in pdus.into_iter().skip(1) {
+            let (_, s) = rx.on_pdu(p, Time::ZERO);
+            if let Some(s) = s {
+                status = Some(s);
+            }
+        }
+        if let Some(s) = status {
+            tx.on_status(&s);
+        }
+        assert_eq!(tx.pending_bytes(), tx.buffer_status().total());
     }
 
     #[test]

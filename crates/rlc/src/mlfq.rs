@@ -29,6 +29,10 @@ pub struct MlfqQueues {
     promoted: VecDeque<RlcSdu>,
     /// Remaining bytes per priority level.
     bytes: Vec<u64>,
+    /// Occupancy bitmask: bit `l` set iff `bytes[l] > 0`. Makes
+    /// [`MlfqQueues::head_priority`] O(1) instead of a K-level scan —
+    /// the MAC reads it for every UE every TTI.
+    occupied: u64,
     /// Remaining bytes in the promoted slot.
     promoted_bytes: u64,
     /// Total SDUs across all queues (for the buffer cap).
@@ -47,10 +51,12 @@ impl MlfqQueues {
     /// Create with `k` priority levels and an SDU capacity.
     pub fn new(k: usize, capacity_sdus: usize) -> MlfqQueues {
         assert!(k >= 1, "need at least one queue");
+        assert!(k <= 64, "occupancy bitmask holds at most 64 levels");
         MlfqQueues {
             queues: (0..k).map(|_| VecDeque::new()).collect(),
             promoted: VecDeque::new(),
             bytes: vec![0; k],
+            occupied: 0,
             promoted_bytes: 0,
             n_sdus: 0,
             capacity_sdus,
@@ -104,15 +110,33 @@ impl MlfqQueues {
     }
 
     /// The highest-priority level with data — the user priority of
-    /// eq. (2). Promoted segments count as P1.
+    /// eq. (2). Promoted segments count as P1. O(1) via the occupancy
+    /// bitmask.
     pub fn head_priority(&self) -> Option<Priority> {
         if !self.promoted.is_empty() {
             return Some(Priority::TOP);
         }
-        self.bytes
-            .iter()
-            .position(|&b| b > 0)
-            .map(|i| Priority(i as u8))
+        if self.occupied == 0 {
+            None
+        } else {
+            Some(Priority(self.occupied.trailing_zeros() as u8))
+        }
+    }
+
+    /// Account bytes into `level`, maintaining the occupancy bitmask.
+    fn add_level_bytes(&mut self, level: usize, n: u64) {
+        self.bytes[level] += n;
+        if n > 0 {
+            self.occupied |= 1 << level;
+        }
+    }
+
+    /// Account bytes out of `level`, maintaining the occupancy bitmask.
+    fn sub_level_bytes(&mut self, level: usize, n: u64) {
+        self.bytes[level] -= n;
+        if self.bytes[level] == 0 {
+            self.occupied &= !(1 << level);
+        }
     }
 
     /// Enqueue an SDU at its marked priority (clamped to the available
@@ -138,14 +162,14 @@ impl MlfqQueues {
                 return Err(sdu); // nothing worse to evict: drop incoming
             };
             let victim = self.queues[vl].pop_back().expect("non-empty");
-            self.bytes[vl] -= victim.remaining() as u64;
+            self.sub_level_bytes(vl, victim.remaining() as u64);
             self.n_sdus -= 1;
-            self.bytes[level] += sdu.remaining() as u64;
+            self.add_level_bytes(level, sdu.remaining() as u64);
             self.queues[level].push_back(sdu);
             self.n_sdus += 1;
             return Err(victim);
         }
-        self.bytes[level] += sdu.remaining() as u64;
+        self.add_level_bytes(level, sdu.remaining() as u64);
         self.queues[level].push_back(sdu);
         self.n_sdus += 1;
         Ok(())
@@ -162,6 +186,14 @@ impl MlfqQueues {
     /// it next anyway).
     pub fn pull(&mut self, budget: u64, header_bytes: u32) -> (Vec<RlcSegment>, u64) {
         let mut out = Vec::new();
+        let used = self.pull_into(&mut out, budget, header_bytes);
+        (out, used)
+    }
+
+    /// Like [`MlfqQueues::pull`], but appends into a caller-owned scratch
+    /// vector (the per-TTI hot path reuses one buffer across UEs instead
+    /// of allocating per pull). Returns the bytes consumed.
+    pub fn pull_into(&mut self, out: &mut Vec<RlcSegment>, budget: u64, header_bytes: u32) -> u64 {
         let mut used = 0u64;
         while used + (header_bytes as u64) < budget {
             let avail = budget - used - header_bytes as u64;
@@ -194,14 +226,14 @@ impl MlfqQueues {
                     self.promoted.push_front(sdu);
                 } else {
                     let level = (sdu.priority.0 as usize).min(self.queues.len() - 1);
-                    self.bytes[level] += sdu.remaining() as u64;
+                    self.add_level_bytes(level, sdu.remaining() as u64);
                     self.queues[level].push_front(sdu);
                 }
                 self.n_sdus += 1;
                 break; // budget necessarily exhausted
             }
         }
-        (out, used)
+        used
     }
 
     /// Pop the next SDU in service order, accounting bytes out.
@@ -211,9 +243,9 @@ impl MlfqQueues {
             self.n_sdus -= 1;
             return Some((sdu, true));
         }
-        for (level, q) in self.queues.iter_mut().enumerate() {
-            if let Some(sdu) = q.pop_front() {
-                self.bytes[level] -= sdu.remaining() as u64;
+        for level in 0..self.queues.len() {
+            if let Some(sdu) = self.queues[level].pop_front() {
+                self.sub_level_bytes(level, sdu.remaining() as u64);
                 self.n_sdus -= 1;
                 return Some((sdu, false));
             }
@@ -228,7 +260,7 @@ impl MlfqQueues {
             self.promoted.push_front(sdu);
         } else {
             let level = (sdu.priority.0 as usize).min(self.queues.len() - 1);
-            self.bytes[level] += sdu.remaining() as u64;
+            self.add_level_bytes(level, sdu.remaining() as u64);
             self.queues[level].push_front(sdu);
         }
         self.n_sdus += 1;
@@ -255,7 +287,7 @@ impl MlfqQueues {
             let victim = match victim_level {
                 Some(l) => {
                     let v = self.queues[l].pop_back().expect("non-empty");
-                    self.bytes[l] -= v.remaining() as u64;
+                    self.sub_level_bytes(l, v.remaining() as u64);
                     v
                 }
                 None => {
@@ -279,6 +311,7 @@ impl MlfqQueues {
         }
         self.promoted_bytes = 0;
         self.bytes.iter_mut().for_each(|b| *b = 0);
+        self.occupied = 0;
         self.n_sdus = 0;
         out
     }
@@ -484,6 +517,37 @@ mod tests {
         assert_eq!(q.head_priority(), Some(Priority::TOP));
         let (segs, _) = q.pull(1000, 0);
         assert_eq!(segs.len(), 1);
+    }
+
+    #[test]
+    fn occupancy_bitmask_matches_byte_scan() {
+        // The O(1) head_priority must agree with a linear scan of the
+        // per-level byte counters through pushes, partial pulls,
+        // capacity shrinks, and flushes.
+        let check = |q: &MlfqQueues| {
+            let scan: u64 = q
+                .bytes
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b > 0)
+                .fold(0u64, |m, (l, _)| m | 1 << l);
+            assert_eq!(q.occupied, scan, "bitmask diverged from bytes");
+        };
+        let mut q = MlfqQueues::new(4, 4);
+        check(&q);
+        for i in 0..4u64 {
+            q.push(sdu(i, 200, (i % 4) as u8)).unwrap();
+            check(&q);
+        }
+        let _ = q.push(sdu(9, 100, 0)); // push-out of a worse victim
+        check(&q);
+        let _ = q.pull(250, 0); // partial pull promotes a remainder
+        check(&q);
+        let _ = q.set_capacity(1);
+        check(&q);
+        let _ = q.flush();
+        check(&q);
+        assert_eq!(q.head_priority(), None);
     }
 
     #[test]

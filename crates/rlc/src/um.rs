@@ -106,6 +106,12 @@ impl UmTx {
         self.queues.pull(budget, self.cfg.header_bytes)
     }
 
+    /// Like [`UmTx::pull`], but appends into a caller-owned scratch
+    /// vector (hot-path variant). Returns the bytes consumed.
+    pub fn pull_into(&mut self, out: &mut Vec<RlcSegment>, budget: u64) -> u64 {
+        self.queues.pull_into(out, budget, self.cfg.header_bytes)
+    }
+
     /// Buffer status for the MAC (with OutRAN's per-priority occupancy).
     pub fn buffer_status(&self) -> BufferStatus {
         BufferStatus {
