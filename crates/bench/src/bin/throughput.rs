@@ -1,19 +1,31 @@
 //! Simulator throughput baseline — simulated TTIs per wall-clock second
-//! for each scheduler, plus the parallel-sweep speedup, written to
-//! `BENCH_2.json`.
+//! for each scheduler plus the parallel-sweep speedup (`BENCH_2.json`),
+//! and the idle-heavy WebPLT scenario comparing dense vs event-driven
+//! stepping (`BENCH_3.json`).
 //!
 //! ```console
 //! cargo run --release -p outran-bench --bin throughput            # measure
 //! cargo run --release -p outran-bench --bin throughput -- \
 //!     --check BENCH_2.json                                        # gate
+//! cargo run --release -p outran-bench --bin throughput -- \
+//!     --check BENCH_3.json                                        # gate
+//! cargo run --release -p outran-bench --bin throughput -- --profile
 //! ```
 //!
-//! `--check FILE` re-measures and fails (exit 1) if any scheduler's
-//! TTIs/sec dropped more than the tolerance (default 25%, override with
-//! `OUTRAN_PERF_TOLERANCE=0.25`) below the figures recorded in FILE.
-//! Absolute TTIs/sec are machine-dependent: gate against a baseline
-//! produced on the same machine (CI measures, then self-checks).
+//! `--check FILE` re-measures and fails (exit 1) if throughput dropped
+//! more than the tolerance (default 25%, override with
+//! `OUTRAN_PERF_TOLERANCE=0.25`) below the figures recorded in FILE —
+//! the file's schema decides which arm is re-measured. The BENCH_3 arm
+//! additionally fails whenever the event-driven run skips zero TTIs on
+//! the idle-heavy workload (the skip machinery silently disabled is a
+//! perf regression the tolerance would never catch). Absolute TTIs/sec
+//! are machine-dependent: gate against a baseline produced on the same
+//! machine (CI measures, then self-checks).
+//!
+//! `--profile` attributes active-TTI wall time to phy/rlc/mac/faults
+//! (plus transport) per scheduler, using `std::time::Instant` only.
 
+use outran_ran::webplt::idle_heavy_arrivals;
 use outran_ran::{Cell, CellConfig, SchedulerKind};
 use outran_simcore::{Dur, Time};
 use std::time::Instant;
@@ -70,15 +82,124 @@ fn run_timed(mut cell: Cell) -> (u64, f64) {
 fn baseline_tps(json: &str, scheduler: &str) -> Option<f64> {
     let tag = format!("\"scheduler\": \"{scheduler}\"");
     let at = json.find(&tag)? + tag.len();
-    let rest = &json[at..];
-    let key = "\"ttis_per_sec\": ";
-    let v = &rest[rest.find(key)? + key.len()..];
+    scan_f64(&json[at..], "ttis_per_sec")
+}
+
+/// Scan `"key": <number>` out of self-emitted JSON.
+fn scan_f64(json: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let v = &json[json.find(&tag)? + tag.len()..];
     let end = v.find([',', '}', '\n'])?;
     v[..end].trim().parse().ok()
 }
 
+/// Simulated horizon of the idle-heavy WebPLT arm: a UE pair loads one
+/// small page every 5 minutes over an hour — >99% of TTIs carry no
+/// work, the regime the event-driven stepper targets.
+const IDLE_SIM_SECS: u64 = 3600;
+
+struct IdleHeavy {
+    total_ttis: u64,
+    idle_ttis: u64,
+    skipped_ttis: u64,
+    completions: usize,
+    dense_secs: f64,
+    event_secs: f64,
+}
+
+fn build_idle_heavy_cell() -> Cell {
+    let mut cfg = CellConfig::lte_default(2, SchedulerKind::OutRan, 42);
+    cfg.channel.radio = outran_phy::numerology::RadioConfig::lte_rbs(25);
+    cfg.channel.n_subbands = 4;
+    let mut cell = Cell::new(cfg);
+    let horizon = Time::from_secs(IDLE_SIM_SECS);
+    for (at, ue, bytes) in idle_heavy_arrivals(horizon, Dur::from_secs(300), 2, 42) {
+        cell.schedule_flow(at, ue, bytes, None);
+    }
+    cell
+}
+
+/// Measure the idle-heavy scenario dense and event-driven. The two runs
+/// are bit-identical in results (asserted by the `event_driven`
+/// integration tests); here only the clocks differ.
+fn run_idle_heavy() -> IdleHeavy {
+    let end = Time::from_secs(IDLE_SIM_SECS + 4);
+
+    let mut dense = build_idle_heavy_cell();
+    let t0 = Instant::now();
+    dense.run_until_dense(end);
+    let dense_secs = t0.elapsed().as_secs_f64();
+
+    let mut event = build_idle_heavy_cell();
+    let t1 = Instant::now();
+    event.run_until(end);
+    let event_secs = t1.elapsed().as_secs_f64();
+
+    let tti_ns = event.tti().as_nanos();
+    IdleHeavy {
+        total_ttis: end.0 / tti_ns,
+        idle_ttis: event.idle_ttis,
+        skipped_ttis: event.skipped_ttis,
+        completions: event.take_completions().len(),
+        dense_secs,
+        event_secs,
+    }
+}
+
+fn idle_heavy_json(m: &IdleHeavy) -> String {
+    let dense_tps = m.total_ttis as f64 / m.dense_secs;
+    let event_tps = m.total_ttis as f64 / m.event_secs;
+    format!(
+        "{{\n  \"schema\": \"outran-idleheavy-v1\",\n  \
+         \"sim_secs\": {IDLE_SIM_SECS},\n  \
+         \"total_ttis\": {},\n  \"idle_ttis\": {},\n  \
+         \"skipped_ttis\": {},\n  \"completions\": {},\n  \
+         \"dense_secs\": {:.4},\n  \"event_secs\": {:.4},\n  \
+         \"ttis_per_sec_dense\": {dense_tps:.1},\n  \
+         \"ttis_per_sec_eventdriven\": {event_tps:.1},\n  \
+         \"speedup\": {:.3}\n}}\n",
+        m.total_ttis,
+        m.idle_ttis,
+        m.skipped_ttis,
+        m.completions,
+        m.dense_secs,
+        m.event_secs,
+        m.dense_secs / m.event_secs,
+    )
+}
+
+/// `--profile`: per-layer wall-time attribution of the active pipeline.
+fn profile_mode() {
+    for kind in KINDS {
+        let mut cell = build_cell(kind);
+        cell.enable_profiling();
+        let end = Time::ZERO + Dur::from_secs(SIM_SECS);
+        let t0 = Instant::now();
+        cell.run_until(end);
+        let wall = t0.elapsed().as_secs_f64();
+        let p = *cell.profile().expect("profiling enabled");
+        let total = p.total_ns().max(1) as f64;
+        let pct = |ns: u64| 100.0 * ns as f64 / total;
+        println!(
+            "[profile] {:<12} phy {:5.1}%  rlc {:5.1}%  mac {:5.1}%  \
+             faults {:4.1}%  transport {:5.1}%  (attributed {:.3}s of {wall:.3}s wall)",
+            kind.name(),
+            pct(p.phy_ns),
+            pct(p.rlc_ns),
+            pct(p.mac_ns),
+            pct(p.faults_ns),
+            pct(p.transport_ns),
+            total / 1e9,
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--profile") {
+        profile_mode();
+        return;
+    }
     let check: Option<String> = args
         .iter()
         .position(|a| a == "--check")
@@ -93,6 +214,18 @@ fn main() {
                 std::process::exit(2);
             }
         });
+    let tolerance: f64 = std::env::var("OUTRAN_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+
+    // The baseline's schema picks the arm to re-measure and gate.
+    if let Some(baseline) = &baseline {
+        if baseline.contains("outran-idleheavy") {
+            check_idle_heavy(baseline, tolerance);
+            return;
+        }
+    }
     let threads = outran_bench::configured_threads();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -151,10 +284,6 @@ fn main() {
     ));
 
     if let Some(baseline) = baseline {
-        let tolerance: f64 = std::env::var("OUTRAN_PERF_TOLERANCE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0.25);
         let mut failed = false;
         for (name, _, _, tps) in &rows {
             let Some(base) = baseline_tps(&baseline, name) else {
@@ -183,5 +312,56 @@ fn main() {
         std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
         println!("{json}");
         eprintln!("  [throughput] wrote BENCH_2.json");
+
+        // Idle-heavy WebPLT arm: dense vs event-driven stepping.
+        let m = run_idle_heavy();
+        eprintln!(
+            "  [throughput] idle-heavy: dense {:.2}s, event-driven {:.2}s \
+             ({:.1}x), skipped {}/{} idle TTIs",
+            m.dense_secs,
+            m.event_secs,
+            m.dense_secs / m.event_secs,
+            m.skipped_ttis,
+            m.idle_ttis
+        );
+        if m.skipped_ttis == 0 {
+            eprintln!("throughput: idle-heavy run skipped zero TTIs — skip machinery is dead");
+            std::process::exit(1);
+        }
+        let json3 = idle_heavy_json(&m);
+        std::fs::write("BENCH_3.json", &json3).expect("write BENCH_3.json");
+        println!("{json3}");
+        eprintln!("  [throughput] wrote BENCH_3.json");
     }
+}
+
+/// Re-measure the idle-heavy arm and gate it against a BENCH_3 baseline.
+fn check_idle_heavy(baseline: &str, tolerance: f64) {
+    let m = run_idle_heavy();
+    let event_tps = m.total_ttis as f64 / m.event_secs;
+    if m.skipped_ttis == 0 {
+        eprintln!("throughput: idle-heavy run skipped zero TTIs — skip machinery is dead");
+        std::process::exit(1);
+    }
+    let Some(base) = scan_f64(baseline, "ttis_per_sec_eventdriven") else {
+        eprintln!("throughput: baseline lacks ttis_per_sec_eventdriven");
+        std::process::exit(2);
+    };
+    let floor = base * (1.0 - tolerance);
+    eprintln!(
+        "  [throughput] idle-heavy event-driven: {event_tps:.0} vs baseline {base:.0} \
+         (floor {floor:.0}), skipped {}/{} idle TTIs",
+        m.skipped_ttis, m.idle_ttis
+    );
+    if event_tps < floor {
+        eprintln!(
+            "throughput: idle-heavy regression beyond {:.0}%",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "idle-heavy throughput check passed (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
 }

@@ -46,6 +46,9 @@ FLAGS (flag value  or  flag=value):
   --epsilon X     OutRAN relaxation threshold                   [0.2]
   --reset-ms N    OutRAN priority-reset period in ms            [off]
   --harq          explicit HARQ processes (8, rtt 8 TTIs)       [folded]
+  --dense         force dense per-TTI stepping (disable the
+                  event-driven idle-skip engine; identical
+                  results, only slower on idle-heavy runs)       [off]
   --loss X        residual post-HARQ segment loss prob          [0.002]
   --srjf-mode M   waterfall | winner-only | backlog             [waterfall]
   --reps N        run N seeds (seed..seed+N-1) and average; the
@@ -103,6 +106,8 @@ pub struct Opts {
     pub reset: Option<Dur>,
     /// Explicit HARQ.
     pub harq: bool,
+    /// Force dense per-TTI stepping (disable idle-skip).
+    pub dense: bool,
     /// Residual loss.
     pub loss: f64,
     /// SRJF grant mode.
@@ -149,6 +154,7 @@ impl Default for Opts {
             epsilon: 0.2,
             reset: None,
             harq: false,
+            dense: false,
             loss: 0.002,
             srjf_mode: SrjfMode::Waterfall,
             reps: 1,
@@ -239,6 +245,7 @@ pub fn parse_args(args: &[String]) -> Result<Opts, String> {
                 )? as u64))
             }
             "--harq" => o.harq = true,
+            "--dense" => o.dense = true,
             "--intensity" => o.intensity = parse_f64(&next_value(&mut it, flag, inline)?, flag)?,
             "--loss" => o.loss = parse_f64(&next_value(&mut it, flag, inline)?, flag)?,
             "--srjf-mode" => {
@@ -372,7 +379,8 @@ fn build_experiment(o: &Opts) -> Experiment {
         .cn_delay(o.cn)
         .outran(outran_cfg)
         .residual_loss(o.loss)
-        .srjf_mode(o.srjf_mode);
+        .srjf_mode(o.srjf_mode)
+        .dense_stepping(o.dense);
     if o.harq {
         exp = exp.harq(Some(HarqConfig::default()));
     }
@@ -595,7 +603,7 @@ mod tests {
         let o = parse(
             "--scheduler outran --scenario lte --users 8 --load 0.5 --secs 4 \
              --seed 9 --rlc am --buffer 256 --tf-ms 500 --cn-ms 20 \
-             --epsilon 0.3 --reset-ms 500 --harq --loss 0.01 \
+             --epsilon 0.3 --reset-ms 500 --harq --dense --loss 0.01 \
              --srjf-mode winner-only --cdf short",
         )
         .unwrap();
@@ -606,6 +614,7 @@ mod tests {
         assert!((o.epsilon - 0.3).abs() < 1e-12);
         assert_eq!(o.reset, Some(Dur::from_millis(500)));
         assert!(o.harq);
+        assert!(o.dense);
         assert_eq!(o.srjf_mode, SrjfMode::WinnerOnly);
         assert_eq!(o.cdf, Some(CdfSel::Short));
     }

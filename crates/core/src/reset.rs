@@ -54,6 +54,23 @@ impl PriorityReset {
     pub fn next_at(&self) -> Time {
         self.next_at
     }
+
+    /// Advance the schedule past `now`, counting **every** crossed period
+    /// (unlike [`PriorityReset::due`], which coalesces missed periods into
+    /// one reset). Returns how many periods fired.
+    ///
+    /// Virtual-time skipping uses this so that a span of idle TTIs books
+    /// the same number of resets whether it is stepped densely or skipped
+    /// in one jump.
+    pub fn catch_up(&mut self, now: Time) -> u64 {
+        let mut fired = 0u64;
+        while self.next_at <= now {
+            self.next_at += self.period;
+            fired += 1;
+        }
+        self.resets += fired;
+        fired
+    }
 }
 
 #[cfg(test)]

@@ -283,6 +283,23 @@ impl FaultPlan {
         af
     }
 
+    /// The next window edge (start or end) strictly after `t`, if any.
+    ///
+    /// Between two consecutive edges the [`ActiveFaults`] snapshot is
+    /// constant, so a driver that re-evaluates faults at every edge may
+    /// skip the TTIs in between without missing a transition.
+    pub fn next_edge_after(&self, t: Time) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        for w in &self.windows {
+            for edge in [w.start, w.end] {
+                if edge > t && next.is_none_or(|n| edge < n) {
+                    next = Some(edge);
+                }
+            }
+        }
+        next
+    }
+
     /// Instant the last window closes (`Time::ZERO` for an empty plan).
     /// Runs should drain past this point before judging recovery.
     pub fn last_end(&self) -> Time {

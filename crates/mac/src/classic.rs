@@ -59,6 +59,12 @@ impl Scheduler for BetScheduler {
         }
     }
 
+    fn on_idle(&mut self, k: u64) {
+        for e in &mut self.avg {
+            e.decay(k);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "BET"
     }
@@ -126,6 +132,12 @@ impl Scheduler for MlwdfScheduler {
     fn on_served(&mut self, served_bits: &[f64]) {
         for (e, &s) in self.avg.iter_mut().zip(served_bits) {
             e.update(s);
+        }
+    }
+
+    fn on_idle(&mut self, k: u64) {
+        for e in &mut self.avg {
+            e.decay(k);
         }
     }
 

@@ -45,6 +45,12 @@ impl BaseMetric {
             core.update(served_bits);
         }
     }
+
+    fn decay(&mut self, k: u64) {
+        if let BaseMetric::Pf(core) = self {
+            core.decay(k);
+        }
+    }
 }
 
 /// The OutRAN MAC scheduler: a legacy metric core + the ε-relaxed
@@ -158,6 +164,10 @@ impl Scheduler for OutRanScheduler {
 
     fn on_served(&mut self, served_bits: &[f64]) {
         self.base.update(served_bits);
+    }
+
+    fn on_idle(&mut self, k: u64) {
+        self.base.decay(k);
     }
 
     fn name(&self) -> &'static str {

@@ -76,6 +76,20 @@ impl PfCore {
         }
     }
 
+    /// Fold in `k` all-idle TTIs at once: every UE's average decays as
+    /// if `update` had seen `k` zero-service ticks (see
+    /// [`Ewma::decay`]). Keeps the standard "PF updates every TTI"
+    /// semantics across idle spans the cell loop skips.
+    pub fn decay(&mut self, k: u64) {
+        for (e, rev) in self.avg.iter_mut().zip(self.rev.iter_mut()) {
+            let before = e.get();
+            e.decay(k);
+            if e.get() != before {
+                *rev = rev.wrapping_add(1);
+            }
+        }
+    }
+
     /// Revision counter for `ue`'s metric state: bumped exactly when the
     /// long-term average behind [`PfCore::metric`] changes, so a stable
     /// revision guarantees identical metric values for identical rates.
@@ -145,6 +159,10 @@ impl Scheduler for PfScheduler {
 
     fn on_served(&mut self, served_bits: &[f64]) {
         self.core.update(served_bits);
+    }
+
+    fn on_idle(&mut self, k: u64) {
+        self.core.decay(k);
     }
 
     fn name(&self) -> &'static str {

@@ -105,6 +105,10 @@ impl Scheduler for PssScheduler {
         self.core.update(served_bits);
     }
 
+    fn on_idle(&mut self, k: u64) {
+        self.core.decay(k);
+    }
+
     fn name(&self) -> &'static str {
         "PSS"
     }
@@ -163,6 +167,10 @@ impl Scheduler for CqaScheduler {
 
     fn on_served(&mut self, served_bits: &[f64]) {
         self.core.update(served_bits);
+    }
+
+    fn on_idle(&mut self, k: u64) {
+        self.core.decay(k);
     }
 
     fn name(&self) -> &'static str {

@@ -157,6 +157,16 @@ pub trait Scheduler {
     /// transmission.
     fn on_served(&mut self, served_bits: &[f64]);
 
+    /// Fold in `k` idle TTIs in which no UE was served, as a single
+    /// composed update — semantically `k` calls of `on_served` with
+    /// all-zero bits. The cell loop batches idle spans (dense stepping
+    /// defers by the same amount as event-driven skipping, so both
+    /// modes apply identical updates) and calls this right before the
+    /// next active TTI's `allocate`. Stateless schedulers ignore it.
+    fn on_idle(&mut self, k: u64) {
+        let _ = k;
+    }
+
     /// Scheduler name for reports.
     fn name(&self) -> &'static str;
 }

@@ -122,6 +122,18 @@ impl CellMetrics {
         }
     }
 
+    /// Account for `k` idle TTIs in which nothing was queued or served.
+    ///
+    /// Only wall-clock accounting moves: `total_ttis` (the denominator of
+    /// [`CellMetrics::spectral_efficiency`]) grows by `k`, while the
+    /// 50-TTI SE/fairness sampling windows and the per-UE EWMAs are
+    /// frozen — an all-zero TTI carries no service to smooth or be fair
+    /// about. Both the dense and event-driven cell loops call this for
+    /// idle TTIs, so the two modes book identical metrics.
+    pub fn note_idle_ttis(&mut self, k: u64) {
+        self.total_ttis += k;
+    }
+
     /// Jain's index over the long-term `r̃_u` of UEs with any accumulated
     /// service (diagnostics; the windowed samples drive the reports).
     pub fn fairness_now(&self) -> f64 {

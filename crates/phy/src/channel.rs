@@ -324,16 +324,47 @@ impl CellChannel {
     /// Advance the channel by one TTI: fading always, mobility/shadowing on
     /// their period, CQI reporting per the configured period and delay.
     pub fn advance_tti(&mut self, now: Time) {
-        self.tti_index += 1;
+        self.advance_span(now, 1);
+    }
+
+    /// Advance the channel to the TTI grid point `now`, composing every
+    /// TTI since the previous advance into one distribution-preserving
+    /// jump (see DESIGN.md "Virtual-time skipping"). A one-TTI gap is
+    /// bitwise-identical to [`CellChannel::advance_tti`]; a no-op when
+    /// the channel is already at (or past) `now`.
+    pub fn advance_to(&mut self, now: Time) {
+        let tti = self.cfg.radio.tti();
+        let target = now.as_nanos() / tti.as_nanos();
+        if target > self.tti_index {
+            self.advance_span(now, target - self.tti_index);
+        }
+    }
+
+    /// Number of TTIs the channel has advanced through.
+    pub fn tti_index(&self) -> u64 {
+        self.tti_index
+    }
+
+    /// Advance all per-UE processes by `k` TTIs ending at `now`.
+    ///
+    /// Fading takes one composed AR(1) jump (`ρᵏ`), mobility takes one
+    /// composed walk covering every crossed mobility period, and the CQI
+    /// reporting loop runs once at `now` — identical draw sequence
+    /// whether a gap is skipped here or never existed.
+    fn advance_span(&mut self, now: Time, k: u64) {
+        let from = self.tti_index;
+        self.tti_index += k;
         let tti = self.cfg.radio.tti();
         let mobility_every = (self.cfg.mobility_step.as_nanos() / tti.as_nanos()).max(1);
-        let do_mobility = self.tti_index.is_multiple_of(mobility_every);
+        let crossings = self.tti_index / mobility_every - from / mobility_every;
 
         for ue in 0..self.ues.len() {
-            self.ues[ue].fading.advance();
-            if do_mobility {
+            self.ues[ue].fading.advance_by(k);
+            if crossings > 0 {
                 let before = self.ues[ue].walker.pos();
-                self.ues[ue].walker.advance(self.cfg.mobility_step);
+                self.ues[ue]
+                    .walker
+                    .advance(Dur(self.cfg.mobility_step.0 * crossings));
                 let after = self.ues[ue].walker.pos();
                 let moved = ((after.x - before.x).powi(2) + (after.y - before.y).powi(2)).sqrt();
                 self.dist_since_shadow[ue] += moved;

@@ -116,6 +116,30 @@ impl FadingProcess {
         self.wideband.advance(rho, &mut self.rng);
     }
 
+    /// Advance all taps by `steps` steps in one composed AR(1) jump.
+    ///
+    /// The k-step transition of a Gauss–Markov tap is itself Gauss–Markov
+    /// with coefficient `ρᵏ`, so a single draw pair per tap lands on the
+    /// exact k-step marginal distribution. `steps == 1` delegates to
+    /// [`FadingProcess::advance`] and is bitwise-identical to calling it
+    /// directly; `steps == 0` is a no-op.
+    pub fn advance_by(&mut self, steps: u64) {
+        match steps {
+            0 => {}
+            1 => self.advance(),
+            k => {
+                if self.rho >= 1.0 {
+                    return; // static channel
+                }
+                let rho_k = self.rho.powi(k.min(i32::MAX as u64) as i32);
+                for tap in &mut self.subband {
+                    tap.advance(rho_k, &mut self.rng);
+                }
+                self.wideband.advance(rho_k, &mut self.rng);
+            }
+        }
+    }
+
     /// Instantaneous power gain (linear, mean ≈ 1.0) for a subband.
     pub fn gain_linear(&self, subband: usize) -> f64 {
         let s = self.subband[subband].power();

@@ -372,7 +372,7 @@ pub struct Cell {
     now: Time,
     tti: Dur,
     channel: CellChannel,
-    scheduler: Box<dyn Scheduler>,
+    scheduler: Box<dyn Scheduler + Send>,
     events: EventQueue<Ev>,
     flows: Vec<FlowRt>,
     flows_by_ue: Vec<Vec<usize>>,
@@ -397,6 +397,14 @@ pub struct Cell {
     pub harq_wasted_tbs: u64,
     /// Diagnostics: residual-loss events.
     pub residual_losses: u64,
+    /// TTIs in which the cell had no work to do. Idle TTIs run O(1)
+    /// accounting and draw no randomness in *both* stepping modes (see
+    /// DESIGN.md "Virtual-time skipping").
+    pub idle_ttis: u64,
+    /// Idle TTIs crossed in one [`Cell::fast_forward`] jump instead of
+    /// being stepped individually (event-driven mode only; always 0
+    /// under [`Cell::run_until_dense`]).
+    pub skipped_ttis: u64,
     last_gc: Time,
     /// Fault snapshot of the previous TTI (edge detection).
     faults_active: ActiveFaults,
@@ -417,6 +425,41 @@ pub struct Cell {
     cn_in_flight_bytes: u64,
     harq_held_bytes: u64,
     scratch: StepScratch,
+    /// Started-but-incomplete flows — the O(1) core of the idle test.
+    open_flows: u64,
+    /// Cached next fault-window edge at or after `now` (`None` when the
+    /// plan holds no further edges); refreshed only when crossed.
+    next_fault_edge: Option<Time>,
+    /// Idle TTIs accrued since the last active one, not yet folded into
+    /// the scheduler's averages (applied as one composed `on_idle` at
+    /// the next active TTI — identically in both stepping modes).
+    pending_idle: u64,
+    /// Per-layer wall-time attribution, when enabled.
+    profile: Option<StepProfile>,
+}
+
+/// Cumulative per-layer wall-time attribution of the active-TTI pipeline
+/// (opt-in via [`Cell::enable_profiling`]; all figures in nanoseconds,
+/// measured with `std::time::Instant`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepProfile {
+    /// Fault-plan flattening and window-edge transitions.
+    pub faults_ns: u64,
+    /// Event queue drain, TCP endpoints, RTO and watchdog scans.
+    pub transport_ns: u64,
+    /// Channel evolution: fading, mobility, CQI reporting.
+    pub phy_ns: u64,
+    /// Rate matrix refresh, GBR carve-out and MAC scheduling.
+    pub mac_ns: u64,
+    /// RLC pulls, HARQ/air-interface draws, delivery and housekeeping.
+    pub rlc_ns: u64,
+}
+
+impl StepProfile {
+    /// Total attributed time across all layers, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.faults_ns + self.transport_ns + self.phy_ns + self.mac_ns + self.rlc_ns
+    }
 }
 
 impl Cell {
@@ -514,13 +557,25 @@ impl Cell {
             buffer_drops: 0,
             harq_wasted_tbs: 0,
             residual_losses: 0,
+            idle_ttis: 0,
+            skipped_ttis: 0,
             last_gc: Time::ZERO,
             scratch: StepScratch::default(),
+            open_flows: 0,
+            // `Some(ZERO)` forces the first active TTI to flatten the
+            // plan (a window may start at t = 0) and cache the real edge.
+            next_fault_edge: if cfg.faults.is_empty() {
+                None
+            } else {
+                Some(Time::ZERO)
+            },
+            pending_idle: 0,
+            profile: None,
             cfg,
         }
     }
 
-    fn build_scheduler(cfg: &CellConfig, tti: Dur) -> Box<dyn Scheduler> {
+    fn build_scheduler(cfg: &CellConfig, tti: Dur) -> Box<dyn Scheduler + Send> {
         let n = cfg.n_ues;
         match cfg.scheduler {
             SchedulerKind::Pf => Box::new(PfScheduler::with_tf(n, cfg.tf, tti)),
@@ -612,25 +667,214 @@ impl Cell {
         std::mem::take(&mut self.completions)
     }
 
-    /// Advance the simulation until `t`.
+    /// Advance the simulation until `t`, event-driven: dense per-TTI
+    /// stepping while any work is pending, one [`Cell::fast_forward`]
+    /// jump across every provably idle span. Ends on the same TTI-grid
+    /// point, with bit-identical state, as [`Cell::run_until_dense`].
     pub fn run_until(&mut self, t: Time) {
+        while self.now < t {
+            let na = self.next_activity_time();
+            let limit = if na < t { na } else { t };
+            // Every TTI ending strictly before `limit` is provably
+            // idle: skip them in one jump, then step the TTI that
+            // contains `limit` (step() re-checks, so an over-estimate
+            // merely lands on another idle tick).
+            let skip = limit.since(self.now).as_nanos().saturating_sub(1) / self.tti.as_nanos();
+            if skip > 0 {
+                self.fast_forward(self.now + Dur(self.tti.as_nanos() * skip));
+            }
+            self.step();
+        }
+    }
+
+    /// Advance the simulation until `t` by stepping every TTI — the
+    /// pre-event-driven loop, kept as the reference arm for equivalence
+    /// tests and the dense side of the idle-heavy benchmark.
+    pub fn run_until_dense(&mut self, t: Time) {
         while self.now < t {
             self.step();
         }
     }
 
-    /// Advance one TTI.
+    /// Advance one TTI. An idle TTI — no due event, no queued or
+    /// in-flight data anywhere, no GBR grant or fault edge due — does
+    /// O(1) accounting and draws no randomness; an active TTI runs the
+    /// full pipeline. Dense and event-driven runs share this entry
+    /// point, so they execute identical work at identical instants.
     pub fn step(&mut self) {
         self.now += self.tti;
+        if self.has_work_at(self.now) {
+            self.active_step();
+        } else {
+            self.idle_accrue(1);
+        }
+    }
+
+    /// Whether any subsystem has (or may have) work at instant `now`,
+    /// the end of the current TTI. `false` certifies that the full
+    /// pipeline would be a no-op apart from O(1) accounting.
+    fn has_work_at(&self, now: Time) -> bool {
+        if self.open_flows > 0 {
+            // A started flow owns in-flight packets, queued data or a
+            // pending RTO; conservatively treat it as work every TTI so
+            // the RTO/watchdog scans run exactly as in dense stepping.
+            return true;
+        }
+        if let Some(t) = self.events.peek_time() {
+            if t <= now {
+                return true;
+            }
+        }
+        if let Some(e) = self.next_fault_edge {
+            if e <= now {
+                return true;
+            }
+        }
+        if self
+            .gbr
+            .iter()
+            .any(|g| g.next_gen <= now || !g.queue.is_empty())
+        {
+            return true;
+        }
+        for ue in 0..self.cfg.n_ues {
+            if !self.harq[ue].is_empty() {
+                return true;
+            }
+            match &self.rlc_tx[ue] {
+                RlcTx::Um(um) => {
+                    if !um.is_empty() {
+                        return true;
+                    }
+                }
+                RlcTx::Am(am) => {
+                    if !am.is_quiescent() {
+                        return true;
+                    }
+                }
+            }
+            if let RlcRx::Um(um) = &self.rlc_rx[ue] {
+                if um.pending() > 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Earliest instant at which the cell may next have work to do.
+    ///
+    /// Returns `now` while anything is pending; otherwise the minimum
+    /// over the processes that can create work out of quiet: the event
+    /// queue's head, the next GBR packet generation and the next
+    /// fault-window edge. CQI reports and mobility are deliberately
+    /// *not* activity sources — the channel freezes across idle spans
+    /// in both stepping modes and is composed lazily on wake (DESIGN.md
+    /// "Virtual-time skipping"). Never later than the first TTI at
+    /// which dense stepping would do work; `Time(u64::MAX)` when no
+    /// future work can arise.
+    pub fn next_activity_time(&self) -> Time {
+        if self.has_work_at(self.now) {
+            return self.now;
+        }
+        let mut next = Time(u64::MAX);
+        if let Some(t) = self.events.peek_time() {
+            next = next.min(t);
+        }
+        for g in &self.gbr {
+            next = next.min(g.next_gen);
+        }
+        if let Some(e) = self.next_fault_edge {
+            next = next.min(e);
+        }
+        next
+    }
+
+    /// Jump the clock across a span of idle TTIs in O(1). `to` must lie
+    /// on the TTI grid strictly ahead of `now`, and every TTI ending at
+    /// or before `to` must be idle (callers derive `to` from
+    /// [`Cell::next_activity_time`]). Skipped TTIs draw no randomness
+    /// in either stepping mode, so only integer accounting (and any
+    /// crossed priority-reset periods) applies; fading and mobility are
+    /// composed lazily by the next active TTI's channel advance.
+    pub fn fast_forward(&mut self, to: Time) {
+        debug_assert!(to > self.now, "fast_forward must move forward");
+        debug_assert_eq!(
+            to.since(self.now).as_nanos() % self.tti.as_nanos(),
+            0,
+            "fast_forward target must be TTI-grid aligned"
+        );
+        let k = to.since(self.now).as_nanos() / self.tti.as_nanos();
+        self.now = to;
+        self.skipped_ttis += k;
+        self.idle_accrue(k);
+    }
+
+    /// Book `k` idle TTIs ending at `now`: idle counters, the metrics
+    /// wall-clock, and any priority-reset periods the span crossed.
+    /// Yields the same state whether called once per idle TTI (dense)
+    /// or once per skipped span (event-driven).
+    fn idle_accrue(&mut self, k: u64) {
+        self.idle_ttis += k;
+        self.pending_idle += k;
+        self.metrics.note_idle_ttis(k);
+        if let Some(reset) = &mut self.reset {
+            if reset.catch_up(self.now) > 0 {
+                for ft in &mut self.flow_tables {
+                    ft.reset_priorities();
+                }
+            }
+        }
+    }
+
+    /// Start attributing active-TTI wall time per layer (see
+    /// [`StepProfile`]); adds a few `Instant` reads per active TTI.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(StepProfile::default());
+    }
+
+    /// Accumulated per-layer timings, if profiling was enabled.
+    pub fn profile(&self) -> Option<&StepProfile> {
+        self.profile.as_ref()
+    }
+
+    /// The full per-TTI pipeline (runs only on TTIs that have work).
+    fn active_step(&mut self) {
         let now = self.now;
+        // Fold the idle span since the last active TTI into the
+        // scheduler's long-term averages first, so this tick's `allocate`
+        // sees the same decayed state a per-TTI zero-service update would
+        // have produced.
+        if self.pending_idle > 0 {
+            let k = self.pending_idle;
+            self.pending_idle = 0;
+            self.scheduler.on_idle(k);
+        }
         self.auditor.observe_clock(now);
+        let mut lap = self
+            .profile
+            .is_some()
+            .then(|| (std::time::Instant::now(), [0u64; 5]));
+        fn mark(lap: &mut Option<(std::time::Instant, [u64; 5])>, slot: usize) {
+            if let Some((last, acc)) = lap {
+                let t = std::time::Instant::now();
+                acc[slot] += t.duration_since(*last).as_nanos() as u64;
+                *last = t;
+            }
+        }
 
         // 0. Fault engine: flatten the plan at `now` and apply window
         // edges (flush on RLF/detach entry, capacity clamps, …).
         if !self.cfg.faults.is_empty() || !self.faults_active.is_quiet() {
             let active = self.cfg.faults.active_at(now);
             self.apply_fault_transitions(active);
+            // Refresh the cached edge only when we crossed it: between
+            // edges the snapshot is constant and idle spans may skip.
+            if self.next_fault_edge.is_some_and(|e| e <= now) {
+                self.next_fault_edge = self.cfg.faults.next_edge_after(now);
+            }
         }
+        mark(&mut lap, 0);
 
         // 1. Event processing (arrivals, packets, ACKs, STATUS). The CN
         // link faults act here: an outage drops every traversing packet,
@@ -639,6 +883,7 @@ impl Cell {
             match ev {
                 Ev::Arrival { flow } => {
                     self.flows[flow].started = true;
+                    self.open_flows += 1;
                     self.server_emit(flow);
                 }
                 Ev::PktAtEnb { flow, seq, len } => {
@@ -710,15 +955,20 @@ impl Cell {
                 }
             }
         }
+        mark(&mut lap, 1);
 
         // 3. Channel evolution (CQI staleness/corruption pushed first).
+        // `advance_to` composes any idle gap since the previous active
+        // TTI into one distribution-preserving jump; with no gap it is
+        // the plain per-TTI advance.
         for ue in 0..self.cfg.n_ues {
             self.channel
                 .set_cqi_frozen(ue, self.faults_active.cqi_frozen(ue));
             self.channel
                 .set_cqi_corrupt(ue, self.faults_active.cqi_corrupted(ue));
         }
-        self.channel.advance_tti(now);
+        self.channel.advance_to(now);
+        mark(&mut lap, 2);
 
         // 4. Scheduler inputs — semi-persistent GBR grants are carved
         // out first, so the dynamic scheduler only sees the leftover RBs.
@@ -737,6 +987,7 @@ impl Cell {
             + rates.reserved.iter().filter(|&&r| r).count();
         self.auditor
             .observe_rbs(now, used_rbs as u32, rates.rb_to_sb.len() as u32);
+        mark(&mut lap, 3);
 
         // 6. Transmission: per-(UE, subband) transport-block groups.
         let mut had_data = std::mem::take(&mut self.scratch.had_data);
@@ -755,6 +1006,14 @@ impl Cell {
 
         // 7. Housekeeping.
         self.housekeeping();
+        mark(&mut lap, 4);
+        if let (Some((_, acc)), Some(p)) = (lap, &mut self.profile) {
+            p.faults_ns += acc[0];
+            p.transport_ns += acc[1];
+            p.phy_ns += acc[2];
+            p.mac_ns += acc[3];
+            p.rlc_ns += acc[4];
+        }
     }
 
     /// Whether the CN link eats a traversing packet right now (full
@@ -1198,6 +1457,7 @@ impl Cell {
                 &mut self.events,
                 &mut self.fct,
                 &mut self.completions,
+                &mut self.open_flows,
                 now,
                 self.cfg.cn_delay + self.cfg.ul_air_delay + self.faults_active.cn_extra_delay,
                 d,
@@ -1228,6 +1488,7 @@ impl Cell {
                     &mut self.events,
                     &mut self.fct,
                     &mut self.completions,
+                    &mut self.open_flows,
                     now,
                     self.cfg.cn_delay + self.cfg.ul_air_delay + self.faults_active.cn_extra_delay,
                     d,
@@ -1266,9 +1527,10 @@ impl Cell {
                 am.on_tick(now);
             }
         }
-        // §6.3 priority reset.
+        // §6.3 priority reset. `catch_up` (not `due`) so active and
+        // idle paths count crossed periods identically.
         if let Some(reset) = &mut self.reset {
-            if reset.due(now) {
+            if reset.catch_up(now) > 0 {
                 for ft in &mut self.flow_tables {
                     ft.reset_priorities();
                 }
@@ -1527,12 +1789,15 @@ fn srjf_oracle_priority(remaining: u64) -> outran_pdcp::Priority {
 
 /// Deliver one reassembled SDU into the flow's TCP receiver; on
 /// completion, record the FCT. (Free function so `transmit` can call it
-/// while holding disjoint borrows of the cell's fields.)
+/// while holding disjoint borrows of the cell's fields — hence the long
+/// parameter list.)
+#[allow(clippy::too_many_arguments)]
 fn deliver_sdu_um(
     flows: &mut [FlowRt],
     events: &mut EventQueue<Ev>,
     fct: &mut FctCollector,
     completions: &mut Vec<FlowDone>,
+    open_flows: &mut u64,
     now: Time,
     ul_delay: Dur,
     d: outran_rlc::um::DeliveredSdu,
@@ -1546,6 +1811,7 @@ fn deliver_sdu_um(
     events.schedule(now + ul_delay, Ev::AckAtServer { flow, cum });
     if f.receiver.complete() {
         f.done = true;
+        *open_flows -= 1;
         let dur = now.saturating_since(f.spawn);
         fct.record(f.size, dur);
         completions.push(FlowDone {

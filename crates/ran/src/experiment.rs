@@ -37,6 +37,7 @@ pub struct Experiment {
     faults: FaultPlan,
     watchdog: Option<Dur>,
     max_flow_entries: Option<usize>,
+    dense: bool,
 }
 
 impl Experiment {
@@ -64,6 +65,7 @@ impl Experiment {
             faults: FaultPlan::new(),
             watchdog: None,
             max_flow_entries: None,
+            dense: false,
         }
     }
 
@@ -181,6 +183,15 @@ impl Experiment {
         self
     }
 
+    /// Force dense per-TTI stepping instead of the event-driven
+    /// idle-skip loop. Results are bit-identical either way (asserted by
+    /// the equivalence tests); the switch exists for A/B timing and for
+    /// debugging the skip logic itself.
+    pub fn dense_stepping(mut self, dense: bool) -> Self {
+        self.dense = dense;
+        self
+    }
+
     /// Flow-table admission-control cap (LRU eviction beyond it).
     pub fn max_flow_entries(mut self, cap: Option<usize>) -> Self {
         self.max_flow_entries = cap;
@@ -232,9 +243,14 @@ impl Experiment {
             cell.schedule_flow(a.at, a.ue, a.bytes, None);
         }
         // Run past the horizon to let late flows finish (bounded drain).
-        cell.run_until(self.duration);
         let drain_end = Time(self.duration.0 + Time::from_secs(4).0);
-        cell.run_until(drain_end);
+        if self.dense {
+            cell.run_until_dense(self.duration);
+            cell.run_until_dense(drain_end);
+        } else {
+            cell.run_until(self.duration);
+            cell.run_until(drain_end);
+        }
 
         // Only count flows that *started* after warmup.
         let mut fct = outran_metrics::FctCollector::new();

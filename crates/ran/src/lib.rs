@@ -34,7 +34,7 @@ pub mod pool;
 pub mod qos;
 pub mod webplt;
 
-pub use cell::{Cell, CellConfig, FlowDone, RlcMode, SchedulerKind};
+pub use cell::{Cell, CellConfig, FlowDone, RlcMode, SchedulerKind, StepProfile};
 pub use experiment::{Experiment, ExperimentReport};
-pub use pool::{default_threads, parallel_map};
+pub use pool::{default_threads, parallel_map, parallel_map_eager};
 pub use qos::{AppKind, BearerKind, QosProfile, TrafficClass};

@@ -40,9 +40,13 @@ pub fn default_threads() -> usize {
 /// Map `f` over `items` on up to `threads` worker threads, returning the
 /// results in submission order.
 ///
-/// With `threads <= 1` (or a single item) this degrades to a plain serial
-/// map on the calling thread — no pool is spun up, which keeps the serial
-/// path trivially identical and cheap for small sweeps.
+/// With `threads <= 1`, or fewer than two jobs per worker
+/// (`items.len() < 2 × threads`), this degrades to a plain serial map on
+/// the calling thread: spawning and joining a scoped pool costs more
+/// than it saves until each worker has at least a couple of jobs to
+/// amortise it (the `speedup < 1` artifact the BENCH_2 sweep showed on
+/// small machines). Jobs known to be individually heavy can bypass the
+/// heuristic with [`parallel_map_eager`].
 pub fn parallel_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -51,10 +55,36 @@ where
 {
     let n = items.len();
     let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 || n < 2 * workers {
+        return items.into_iter().map(f).collect();
+    }
+    pooled_map(workers, items, f)
+}
+
+/// [`parallel_map`] without the jobs-per-worker heuristic: pools
+/// whenever `threads > 1` and there are at least two items. For
+/// coarse-grained jobs (whole cells, multi-second epochs) where the
+/// pool setup cost is negligible against a single job.
+pub fn parallel_map_eager<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = threads.max(1).min(items.len().max(1));
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
+    pooled_map(workers, items, f)
+}
 
+fn pooled_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
     let jobs: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
     let f = &f;
@@ -108,6 +138,25 @@ mod tests {
     fn more_threads_than_items() {
         let out = parallel_map(16, vec![1, 2, 3], |x| x * 10);
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn small_sweeps_run_inline() {
+        // Fewer than two jobs per worker: no pool is spun up, the map
+        // runs on the calling thread.
+        let main = std::thread::current().id();
+        let out = parallel_map(4, vec![1, 2, 3], |x| {
+            assert_eq!(std::thread::current().id(), main);
+            x + 1
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn eager_matches_serial() {
+        let items: Vec<u64> = (0..7).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        assert_eq!(parallel_map_eager(4, items, |x| x * 3), serial);
     }
 
     #[test]

@@ -26,6 +26,41 @@ pub struct PltRun {
     pub object_fcts: Vec<Dur>,
 }
 
+/// Flow arrivals for an idle-heavy browsing session: starting at 50 ms,
+/// a UE loads one small Table-2 page every `think` (its objects arrive
+/// a few milliseconds apart, approximating the browser fan-out), then
+/// the cell sits idle until the next page — the workload shape the
+/// event-driven stepper is built for (the overwhelming majority of TTIs
+/// carry no work). Returns `(at, ue, bytes)` triples for
+/// [`Cell::schedule_flow`], deterministic in `seed`.
+pub fn idle_heavy_arrivals(
+    horizon: Time,
+    think: Dur,
+    n_ues: usize,
+    seed: u64,
+) -> Vec<(Time, usize, u64)> {
+    assert!(n_ues > 0);
+    assert!(think > Dur::ZERO);
+    let pages = WebPage::table2();
+    let mut rng = Rng::new(seed ^ 0x1D7E_CAFE);
+    let mut out = Vec::new();
+    let mut t = Time::from_millis(50);
+    let mut i = 0usize;
+    while t < horizon {
+        // Cycle the two smallest pages so each active burst stays short
+        // relative to the think gap.
+        let page = &pages[i % 2];
+        let ue = i % n_ues;
+        for (j, obj) in page.objects(&mut rng).into_iter().enumerate() {
+            let at = Time(t.0 + j as u64 * Dur::from_millis(3).0);
+            out.push((at, ue, obj.bytes.max(64)));
+        }
+        i += 1;
+        t += think;
+    }
+    out
+}
+
 /// Drive one page load on `cell` for `ue`, starting at the cell's
 /// current time. Steps the cell until the page completes (or the 120 s
 /// safety horizon passes). Background flows already scheduled on the

@@ -4,8 +4,10 @@
 //! that replay a seeded fault plan.
 
 use outran_faults::FaultPlan;
+use outran_phy::Scenario;
+use outran_ran::multicell::MultiCell;
 use outran_ran::{parallel_map, Experiment, ExperimentReport, SchedulerKind};
-use outran_simcore::Dur;
+use outran_simcore::{Dur, Time};
 
 const SECS: u64 = 3;
 
@@ -51,6 +53,24 @@ fn parallel_chaos_sweep_replays_fault_plans_identically() {
     assert!(
         serial.iter().any(|r| r.fault_stats.total_events() > 0),
         "chaos plans injected no faults — weaken nothing, fix the plan"
+    );
+}
+
+/// Intra-run multi-cell parallelism: sharding the cells of one
+/// `MultiCell` run across 4 workers (with the per-epoch barrier) must
+/// merge to the same report as the serial loop, byte for byte.
+#[test]
+fn multicell_parallel_shards_match_serial() {
+    let mut serial = MultiCell::colosseum(Scenario::ColosseumRome, SchedulerKind::OutRan, 0.4);
+    serial.duration = Time::from_secs(3);
+    let mut parallel = serial.clone();
+    parallel.threads = 4;
+    let rs = serial.run();
+    let rp = parallel.run();
+    assert_eq!(
+        format!("{rs:?}"),
+        format!("{rp:?}"),
+        "sharded multi-cell run diverged from serial"
     );
 }
 

@@ -358,6 +358,15 @@ impl AmTx {
         self.txq.is_empty() && self.retxq.is_empty() && self.ctrlq.is_empty()
     }
 
+    /// Whether the entity is fully quiescent: all queues drained, nothing
+    /// in flight, and no poll timer pending. A quiescent entity's
+    /// [`AmTx::on_tick`] is a no-op at every future instant, so virtual
+    /// time may skip over it without changing behaviour; a non-quiescent
+    /// one still needs dense ticks (the poll timer self-arms or fires).
+    pub fn is_quiescent(&self) -> bool {
+        self.is_idle() && self.flight.is_empty() && self.poll_outstanding.is_none()
+    }
+
     /// Current Tx-Q capacity in SDUs.
     pub fn capacity_sdus(&self) -> usize {
         self.txq.capacity()

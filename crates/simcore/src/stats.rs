@@ -158,6 +158,27 @@ impl Ewma {
         self.value
     }
 
+    /// Fold in `k` zero observations at once — the composed equivalent
+    /// of an idle span in a per-tick EWMA. Matches the semantics of `k`
+    /// consecutive `update(0.0)` calls (the first primes an unprimed
+    /// average at zero; primed averages decay geometrically), computed
+    /// in O(1) so virtual-time skipping can batch arbitrarily long idle
+    /// runs. Note the composed product `v·(1−α)^k` is the *definition*
+    /// of the idle decay under skipping — both the dense and
+    /// event-driven cell loops defer to this same composition at the
+    /// next active tick, which is what keeps them bit-identical.
+    pub fn decay(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        if self.primed {
+            self.value *= (1.0 - self.alpha).powf(k as f64);
+        } else {
+            self.value = 0.0;
+            self.primed = true;
+        }
+    }
+
     /// Current average (0 until the first update).
     pub fn get(&self) -> f64 {
         if self.primed {
