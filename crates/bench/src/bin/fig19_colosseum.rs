@@ -3,6 +3,8 @@
 //! medium/static) × three cell loads, vanilla srsRAN (PF) vs OutRAN,
 //! reporting the appendix table's FCT columns.
 
+#![forbid(unsafe_code)]
+
 use outran_metrics::table::f1;
 use outran_metrics::Table;
 use outran_phy::Scenario;

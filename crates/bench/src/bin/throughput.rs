@@ -25,6 +25,8 @@
 //! `--profile` attributes active-TTI wall time to phy/rlc/mac/faults
 //! (plus transport) per scheduler, using `std::time::Instant` only.
 
+#![forbid(unsafe_code)]
+
 use outran_ran::webplt::idle_heavy_arrivals;
 use outran_ran::{Cell, CellConfig, SchedulerKind};
 use outran_simcore::{Dur, Time};

@@ -10,6 +10,8 @@
 //! experiment report (FCT buckets, spectral efficiency, fairness) and,
 //! on request, figure-style CDFs.
 
+#![forbid(unsafe_code)]
+
 use outran_cli::{parse_args, run, HELP};
 
 fn main() {

@@ -106,7 +106,7 @@ pub fn optimize_thresholds(cdf: &Empirical, k: usize, load: f64) -> Vec<u64> {
     let mut th: Vec<f64> = (1..k)
         .map(|j| cdf.quantile(j as f64 / k as f64).max(lo))
         .collect();
-    th.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    th.sort_by(|a, b| a.total_cmp(b));
     dedup_increasing(&mut th);
 
     let mut best = objective(cdf, &th, load);

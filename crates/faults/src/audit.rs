@@ -6,7 +6,7 @@
 //! become structured [`Violation`] records rather than panics, so a run
 //! under fault injection can finish and report everything it saw.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use outran_simcore::Time;
@@ -163,7 +163,7 @@ pub struct InvariantAuditor {
     ttis_seen: u64,
     last_clock: Option<Time>,
     // (ue, flow) -> highest delivered sdu id.
-    delivery_order: HashMap<(usize, u64), u64>,
+    delivery_order: BTreeMap<(usize, u64), u64>,
 }
 
 impl InvariantAuditor {
@@ -176,7 +176,7 @@ impl InvariantAuditor {
             checks_run: 0,
             ttis_seen: 0,
             last_clock: None,
-            delivery_order: HashMap::new(),
+            delivery_order: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,359 @@
+//! A small hand-rolled Rust surface scanner.
+//!
+//! The workspace forbids crates.io access, so instead of `syn` the
+//! linter works on a *masked* view of each source file: the scanner
+//! walks the raw text once and blanks out everything that is not code
+//! (comment bodies, string/char-literal contents), preserving line and
+//! column structure so rule matches report real `file:line` positions.
+//! Comment text is captured separately — suppression directives and the
+//! D6 stale-marker check read comments, every other rule reads only
+//! the masked code.
+//!
+//! The scanner understands the token shapes that defeat naive grep:
+//! line comments (`//`, `///`, `//!`), nested block comments
+//! (`/* /* */ */`), string literals with escapes, raw strings
+//! (`r"…"`, `r#"…"#`, any hash depth, plus `br…` byte forms), byte
+//! strings, char literals (`'x'`, `'\n'`, `'\u{1F600}'`), and the
+//! char-vs-lifetime ambiguity (`'a'` is a literal, `'a` in `Vec<'a, T>`
+//! is not).
+//!
+//! It additionally tracks `#[cfg(test)]`-gated item spans by brace
+//! depth, so rules that exempt test code (D1/D4/D5) can skip in-file
+//! unit-test modules without path heuristics.
+
+/// One scanned file: masked code plus extracted comments.
+#[derive(Debug, Clone)]
+pub struct MaskedFile {
+    /// Per line (0-indexed): source with comment bodies and literal
+    /// contents replaced by spaces. Delimiters (`"`, `'`) survive so
+    /// patterns like `.expect(` keep their shape.
+    pub code: Vec<String>,
+    /// `(line_1based, text)` for every comment, one entry per comment
+    /// per line (a block comment spanning lines yields one entry per
+    /// line it touches).
+    pub comments: Vec<(usize, String)>,
+    /// Per line (0-indexed): true when the line sits inside a
+    /// `#[cfg(test)]`-gated braced item (typically `mod tests { … }`).
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: u32 },
+    Str,
+    RawStr { hashes: u32 },
+    CharLit,
+}
+
+/// Scan `src` into its masked representation.
+pub fn mask(src: &str) -> MaskedFile {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut state = State::Code;
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut code = Vec::new();
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line_no = 1usize;
+
+    let mut i = 0usize;
+    let n = bytes.len();
+    let flush_line = |code_line: &mut String,
+                      comment_line: &mut String,
+                      code: &mut Vec<String>,
+                      comments: &mut Vec<(usize, String)>,
+                      line_no: &mut usize| {
+        code.push(std::mem::take(code_line));
+        let c = std::mem::take(comment_line);
+        if !c.trim().is_empty() {
+            comments.push((*line_no, c));
+        }
+        *line_no += 1;
+    };
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush_line(
+                &mut code_line,
+                &mut comment_line,
+                &mut code,
+                &mut comments,
+                &mut line_no,
+            );
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: 1 };
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code_line.push('"');
+                    i += 1;
+                } else if is_raw_str_start(&bytes, i) {
+                    // r"…" / r#"…"# / br#"…"# — count hashes.
+                    let mut j = i;
+                    while bytes[j] != '"' {
+                        code_line.push(bytes[j]);
+                        j += 1;
+                    }
+                    let hashes = bytes[i..j].iter().filter(|&&h| h == '#').count() as u32;
+                    code_line.push('"');
+                    state = State::RawStr { hashes };
+                    i = j + 1;
+                } else if c == '\'' && is_char_literal(&bytes, i) {
+                    state = State::CharLit;
+                    code_line.push('\'');
+                    i += 1;
+                } else {
+                    code_line.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_line.push(c);
+                code_line.push(' ');
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    comment_line.push_str("  ");
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment { depth: depth - 1 };
+                    }
+                    comment_line.push_str("  ");
+                    code_line.push_str("  ");
+                    i += 2;
+                } else {
+                    comment_line.push(c);
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && i + 1 < n {
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code_line.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && raw_str_closes(&bytes, i, hashes) {
+                    code_line.push('"');
+                    for _ in 0..hashes {
+                        code_line.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' && i + 1 < n {
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    code_line.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_line(
+        &mut code_line,
+        &mut comment_line,
+        &mut code,
+        &mut comments,
+        &mut line_no,
+    );
+
+    let in_test = mark_test_spans(&code);
+    MaskedFile {
+        code,
+        comments,
+        in_test,
+    }
+}
+
+/// Does a raw-string literal start at `i`? (`r"`, `r#"`, `br"`, `br#"` …)
+/// Guards against identifiers ending in `r` (`var"` is not valid Rust,
+/// but `number_of_r` followed by `#` in macro-ish code could confuse a
+/// naive check): the char before must not be part of an identifier.
+fn is_raw_str_start(bytes: &[char], i: usize) -> bool {
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Does the `"` at `i` close a raw string opened with `hashes` hashes?
+fn raw_str_closes(bytes: &[char], i: usize, hashes: u32) -> bool {
+    for k in 0..hashes as usize {
+        if bytes.get(i + 1 + k) != Some(&'#') {
+            return false;
+        }
+    }
+    true
+}
+
+/// Distinguish a char literal from a lifetime at a `'` in code position.
+/// `'x'`, `'\n'`, `'\u{…}'` are literals; `'a` followed by anything but a
+/// closing quote is a lifetime (or loop label).
+fn is_char_literal(bytes: &[char], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some('\\') => true,
+        Some(&c) if c.is_alphanumeric() || c == '_' => bytes.get(i + 2) == Some(&'\''),
+        Some(&c) if c != '\'' => true, // e.g. '+' ' ' — punctuation chars
+        _ => false,
+    }
+}
+
+/// Mark lines covered by `#[cfg(test)]`-gated braced items.
+///
+/// A `cfg(test)` attribute arms the tracker; the next `{` at statement
+/// level opens a test span that closes when brace depth returns to its
+/// pre-entry value. A `;` before any `{` disarms (attribute on a
+/// braceless item such as `#[cfg(test)] use …;`).
+fn mark_test_spans(code: &[String]) -> Vec<bool> {
+    let mut out = vec![false; code.len()];
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut test_entry_depth: Option<i64> = None;
+
+    for (ln, line) in code.iter().enumerate() {
+        if line.contains("cfg(test") {
+            armed = true;
+        }
+        if test_entry_depth.is_some() {
+            out[ln] = true;
+        }
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if armed && test_entry_depth.is_none() {
+                        test_entry_depth = Some(depth);
+                        armed = false;
+                        out[ln] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_entry_depth == Some(depth) {
+                        test_entry_depth = None;
+                    }
+                }
+                ';' if armed && test_entry_depth.is_none() => {
+                    armed = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_doc_comments() {
+        let m = mask("let x = 1; // Instant::now() here\n/// docs .unwrap()\nfn f() {}\n");
+        assert!(!m.code[0].contains("Instant"));
+        assert!(!m.code[1].contains("unwrap"));
+        assert!(m.code[2].contains("fn f"));
+        assert_eq!(m.comments.len(), 2);
+        assert!(m.comments[0].1.contains("Instant::now"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let m = mask("a /* outer /* inner */ still comment */ b\n");
+        let line = &m.code[0];
+        assert!(line.contains('a') && line.contains('b'));
+        assert!(!line.contains("inner"));
+        assert!(!line.contains("still"));
+    }
+
+    #[test]
+    fn masks_string_contents_but_keeps_quotes() {
+        let m = mask("let s = \"Instant::now() \\\" quoted\";\n");
+        assert!(!m.code[0].contains("Instant"));
+        assert_eq!(m.code[0].matches('"').count(), 2);
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let m = mask("let s = r#\"thread_rng \" inner\"#; let t = 1;\n");
+        assert!(!m.code[0].contains("thread_rng"));
+        assert!(m.code[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let m = mask("fn f<'a>(x: &'a str) { let c = '\\''; let d = 'y'; }\n");
+        assert!(m.code[0].contains("fn f<'a>"));
+        assert!(!m.code[0].contains('y'));
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_mod_body() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let m = mask(src);
+        assert!(!m.in_test[0]);
+        assert!(m.in_test[3]);
+        assert!(!m.in_test[5]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_disarms() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() { body(); }\n";
+        let m = mask(src);
+        assert!(!m.in_test[2]);
+    }
+}

@@ -1,0 +1,179 @@
+//! `outran-lint` — workspace-local determinism & simulation-soundness
+//! static analyzer, in the spirit of rustc's `tidy` pass.
+//!
+//! Every result this reproduction publishes rests on bit-identical
+//! determinism: parallel sweeps and event-driven idle skipping are
+//! trusted only because replays fingerprint-identically. This crate
+//! machine-checks the invariants that property depends on, on every
+//! commit, as structured diagnostics with `file:line` positions, rule
+//! IDs, human and JSON output, and reason-carrying inline suppressions
+//! that are themselves linted. It is std-only by construction (the
+//! workspace builds without crates.io access), so the Rust surface
+//! scanning is a small hand-rolled lexer rather than `syn`.
+//!
+//! The rule catalog lives in [`rules::RuleId`]; the rationale per rule
+//! is documented in DESIGN.md § "Static analysis".
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{analyze_source, classify, Diagnostic, RuleId};
+
+/// Directories never descended into during the workspace walk.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "compat", "fixtures"];
+
+/// Collect all lintable `.rs` files under `root`, workspace-relative.
+///
+/// Skips build output, vendored compat shims (third-party API surface
+/// not held to in-house rules), and this crate's own known-bad test
+/// fixtures. Results are sorted so diagnostics order is stable across
+/// filesystems.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint result for a set of files.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Number of files scanned.
+    pub checked_files: usize,
+    /// All findings, ordered by (path, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render as a JSON object (hand-rolled: std-only crate).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"checked_files\": {},\n", self.checked_files));
+        s.push_str(&format!(
+            "  \"diagnostic_count\": {},\n",
+            self.diagnostics.len()
+        ));
+        s.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+                json_escape(&d.path),
+                d.line,
+                d.rule.name(),
+                json_escape(&d.message),
+                if i + 1 < self.diagnostics.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lint `files` (absolute paths under `root`) with the given rule set.
+/// `check_stale` enables the stale-suppression meta-rule L102 and
+/// should be false when `enabled` is a filtered subset.
+pub fn lint_files(
+    root: &Path,
+    files: &[PathBuf],
+    enabled: &[RuleId],
+    check_stale: bool,
+) -> std::io::Result<Report> {
+    let mut diagnostics = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path)?;
+        diagnostics.extend(rules::analyze_source(&rel, &src, enabled, check_stale));
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(Report {
+        checked_files: files.len(),
+        diagnostics,
+    })
+}
+
+/// Lint the whole workspace rooted at `root` with every catalog rule.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    lint_files(root, &files, &RuleId::CATALOG, true)
+}
+
+/// Locate the workspace root: walk up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn finds_workspace_root_from_here() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates").is_dir());
+    }
+}

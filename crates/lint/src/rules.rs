@@ -1,0 +1,632 @@
+//! The rule catalog and the per-file analysis engine.
+//!
+//! Every rule reports structured [`Diagnostic`]s with a stable
+//! [`RuleId`]; all of them run on the masked view produced by
+//! [`crate::lexer::mask`], so literal and comment contents can never
+//! trigger a code rule. See DESIGN.md § "Static analysis" for the
+//! rationale per rule.
+
+use crate::lexer::{mask, MaskedFile};
+
+/// Stable identifiers for the rule catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Wall-clock reads (`Instant::now`, `SystemTime`) outside the
+    /// profiling allowlist.
+    D1,
+    /// `HashMap`/`HashSet` iteration in sim crates.
+    D2,
+    /// Ambient (unseeded) randomness.
+    D3,
+    /// `EventQueue`-style `pop_due` used outside a `while let` drain.
+    D4,
+    /// `unwrap()`/`expect()`/`panic!` in non-test sim library code.
+    D5,
+    /// Stub markers left in library code: `#[allow(dead_code)]`,
+    /// `todo!`, `unimplemented!`, and stale to-do/fix-me comments.
+    D6,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    D7,
+    /// Suppression directive without a written reason.
+    L100,
+    /// Suppression directive naming an unknown rule.
+    L101,
+    /// Suppression directive that suppressed nothing (stale).
+    L102,
+}
+
+impl RuleId {
+    /// All catalog rules (excludes the `L1xx` suppression-hygiene
+    /// meta-rules, which are always on).
+    pub const CATALOG: [RuleId; 7] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::D5,
+        RuleId::D6,
+        RuleId::D7,
+    ];
+
+    /// Canonical name, e.g. `"D2"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
+            RuleId::D4 => "D4",
+            RuleId::D5 => "D5",
+            RuleId::D6 => "D6",
+            RuleId::D7 => "D7",
+            RuleId::L100 => "L100",
+            RuleId::L101 => "L101",
+            RuleId::L102 => "L102",
+        }
+    }
+
+    /// Parse a rule name, case-insensitively.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "D1" => Some(RuleId::D1),
+            "D2" => Some(RuleId::D2),
+            "D3" => Some(RuleId::D3),
+            "D4" => Some(RuleId::D4),
+            "D5" => Some(RuleId::D5),
+            "D6" => Some(RuleId::D6),
+            "D7" => Some(RuleId::D7),
+            "L100" => Some(RuleId::L100),
+            "L101" => Some(RuleId::L101),
+            "L102" => Some(RuleId::L102),
+            _ => None,
+        }
+    }
+}
+
+/// One finding: `path:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Crates whose state feeds replay fingerprints: determinism rules
+/// (D2) and the no-panic contract (D5) apply to their library code.
+pub const SIM_CRATES: [&str; 11] = [
+    "simcore",
+    "phy",
+    "pdcp",
+    "rlc",
+    "mac",
+    "transport",
+    "workload",
+    "metrics",
+    "core",
+    "ran",
+    "faults",
+];
+
+/// Crates allowed to read the wall clock (measurement front-ends).
+pub const WALL_CLOCK_ALLOWED_CRATES: [&str; 2] = ["bench", "cli"];
+
+/// How a file participates in the rule matrix, derived from its
+/// workspace-relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate directory name under `crates/`, or `"outran"` for the
+    /// facade package at the workspace root.
+    pub crate_name: String,
+    /// Library code of a sim crate (D2/D5 scope).
+    pub is_sim_lib: bool,
+    /// Integration tests, benches, examples: measurement/demo code,
+    /// exempt from D1/D4/D5/D6.
+    pub is_testish: bool,
+    /// Wall-clock allowlisted (bench/cli crates or testish files).
+    pub wall_clock_ok: bool,
+    /// File is a crate root that D7 requires to carry
+    /// `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// Classify a workspace-relative path (always with `/` separators).
+pub fn classify(rel: &str) -> FileClass {
+    let crate_name = if let Some(rest) = rel.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("").to_string()
+    } else {
+        "outran".to_string()
+    };
+    let is_testish = rel.contains("/tests/")
+        || rel.starts_with("tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/")
+        || rel.contains("/examples/");
+    let in_src = rel.contains("/src/") || rel.starts_with("src/");
+    let is_sim_lib = (SIM_CRATES.contains(&crate_name.as_str()) || crate_name == "outran")
+        && in_src
+        && !is_testish;
+    let wall_clock_ok = WALL_CLOCK_ALLOWED_CRATES.contains(&crate_name.as_str()) || is_testish;
+
+    let last = rel.rsplit('/').next().unwrap_or(rel);
+    let is_crate_root = rel == "src/lib.rs"
+        || rel == "src/main.rs"
+        || (rel.starts_with("crates/")
+            && (rel.ends_with("/src/lib.rs")
+                || rel.ends_with("/src/main.rs")
+                || rel.contains("/src/bin/")
+                || rel.contains("/benches/")))
+        || (rel.starts_with("examples/") && last.ends_with(".rs"));
+
+    FileClass {
+        crate_name,
+        is_sim_lib,
+        is_testish,
+        wall_clock_ok,
+        is_crate_root,
+    }
+}
+
+/// A parsed suppression: the directive marker followed by
+/// `allow(<rules>)`, a `--` separator, and a mandatory reason.
+#[derive(Debug, Clone)]
+struct Suppression {
+    line: usize,
+    rules: Vec<RuleId>,
+    used: bool,
+}
+
+const DIRECTIVE: &str = "outran-lint:";
+
+/// Extract suppression directives from a file's comments, emitting
+/// hygiene diagnostics (L100 missing reason, L101 unknown rule) in
+/// place.
+fn parse_suppressions(
+    rel: &str,
+    masked: &MaskedFile,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (line, text) in &masked.comments {
+        let Some(at) = text.find(DIRECTIVE) else {
+            continue;
+        };
+        let rest = text[at + DIRECTIVE.len()..].trim();
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split_once(')'))
+            .map(|(inner, _)| inner)
+        else {
+            diags.push(Diagnostic {
+                path: rel.to_string(),
+                line: *line,
+                rule: RuleId::L100,
+                message: format!(
+                    "malformed directive; expected `{DIRECTIVE} allow(<rule>) -- <reason>`"
+                ),
+            });
+            continue;
+        };
+        let reason = rest
+            .split_once("--")
+            .map(|(_, r)| r.trim())
+            .unwrap_or_default();
+        if reason.is_empty() {
+            diags.push(Diagnostic {
+                path: rel.to_string(),
+                line: *line,
+                rule: RuleId::L100,
+                message: "suppression without a reason; write `-- <why this is sound>`".to_string(),
+            });
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for name in inner.split(',') {
+            match RuleId::parse(name) {
+                Some(r) => rules.push(r),
+                None => {
+                    diags.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: *line,
+                        rule: RuleId::L101,
+                        message: format!("unknown rule `{}` in allow(…)", name.trim()),
+                    });
+                    bad = true;
+                }
+            }
+        }
+        if !bad && !rules.is_empty() {
+            out.push(Suppression {
+                line: *line,
+                rules,
+                used: false,
+            });
+        }
+    }
+    out
+}
+
+/// True when the suppression on `sup_line` covers a diagnostic on
+/// `diag_line`: same line (trailing comment) or the line directly
+/// below (standalone comment line).
+fn covers(sup_line: usize, diag_line: usize) -> bool {
+    diag_line == sup_line || diag_line == sup_line + 1
+}
+
+/// Find identifiers bound to `HashMap`/`HashSet` values in a file's
+/// masked code: field/let type ascriptions (`name: HashMap<…>`) and
+/// constructor bindings (`name = HashMap::new()` etc.).
+fn hash_bound_idents(masked: &MaskedFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in &masked.code {
+        for ty in ["HashMap", "HashSet"] {
+            for pos in find_word(line, ty) {
+                // Walk back over any path prefix (`std::collections::`).
+                let before = line[..pos].trim_end();
+                let before = before
+                    .strip_suffix("std::collections::")
+                    .or_else(|| before.strip_suffix("collections::"))
+                    .unwrap_or(before)
+                    .trim_end();
+                let ident = if let Some(s) = before.strip_suffix(':') {
+                    last_ident(s.trim_end())
+                } else if let Some(s) = before.strip_suffix('=') {
+                    last_ident(s.trim_end())
+                } else {
+                    None
+                };
+                if let Some(id) = ident {
+                    if !names.contains(&id) {
+                        names.push(id);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// The trailing identifier of `s`, if any (`self.foo.bar` → `bar`).
+fn last_ident(s: &str) -> Option<String> {
+    let end = s.len();
+    let start = s
+        .char_indices()
+        .rev()
+        .take_while(|&(_, c)| c.is_alphanumeric() || c == '_')
+        .map(|(i, _)| i)
+        .last()?;
+    let id = &s[start..end];
+    if id.is_empty() || id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(id.to_string())
+    }
+}
+
+/// Byte offsets of whole-word occurrences of `word` in `line`.
+fn find_word(line: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(word) {
+        let pos = from + rel;
+        let before_ok = pos == 0
+            || !line[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = line[pos + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        from = pos + word.len();
+    }
+    out
+}
+
+/// Iteration adaptors whose visit order follows the hasher.
+const HASH_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Ambient entropy sources: all randomness must flow through the
+/// seeded `outran_simcore::Rng` streams.
+const AMBIENT_RNG: [&str; 5] = [
+    "thread_rng",
+    "rand::random",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+];
+
+/// Analyze one already-masked file. `rel` must be workspace-relative
+/// with `/` separators. Rules not in `enabled` are skipped; the
+/// suppression-hygiene meta-rules always run. `check_stale` controls
+/// L102 (disabled when the caller filtered rules, since a suppression
+/// for a disabled rule is trivially "unused").
+pub fn analyze_masked(
+    rel: &str,
+    masked: &MaskedFile,
+    enabled: &[RuleId],
+    check_stale: bool,
+) -> Vec<Diagnostic> {
+    let class = classify(rel);
+    let mut diags = Vec::new();
+    let mut suppressions = parse_suppressions(rel, masked, &mut diags);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let on = |r: RuleId| enabled.contains(&r);
+
+    let hash_idents = if on(RuleId::D2) && class.is_sim_lib {
+        hash_bound_idents(masked)
+    } else {
+        Vec::new()
+    };
+
+    for (idx, line) in masked.code.iter().enumerate() {
+        let line_no = idx + 1;
+        let in_test = masked.in_test.get(idx).copied().unwrap_or(false);
+
+        // D1 — wall clock.
+        if on(RuleId::D1) && !class.wall_clock_ok && !in_test {
+            for pat in ["Instant::now", "SystemTime"] {
+                if line.contains(pat) {
+                    raw.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: line_no,
+                        rule: RuleId::D1,
+                        message: format!(
+                            "wall-clock read `{pat}` outside the measurement allowlist; \
+                             simulation state must advance on virtual time only"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // D2 — hash iteration in sim library code.
+        if on(RuleId::D2) && class.is_sim_lib && !in_test {
+            for m in HASH_ITER_METHODS {
+                let needle = format!(".{m}(");
+                let mut from = 0;
+                while let Some(rel_pos) = line[from..].find(&needle) {
+                    let pos = from + rel_pos;
+                    from = pos + needle.len();
+                    // Receiver of the call: trailing identifier before
+                    // the dot, looking back across a split method chain
+                    // (`self.flows\n    .retain(…)`).
+                    let recv = last_ident(&line[..pos]).or_else(|| {
+                        let mut back = String::new();
+                        for prev in masked.code[idx.saturating_sub(2)..idx].iter() {
+                            back.push_str(prev);
+                        }
+                        back.push_str(&line[..pos]);
+                        last_ident(back.trim_end().trim_end_matches('.').trim_end())
+                    });
+                    if let Some(recv) = recv {
+                        if hash_idents.contains(&recv) {
+                            raw.push(Diagnostic {
+                                path: rel.to_string(),
+                                line: line_no,
+                                rule: RuleId::D2,
+                                message: format!(
+                                    "`{recv}.{m}()` iterates a HashMap/HashSet in hasher \
+                                     order; use BTreeMap/BTreeSet or sort the keys"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            // `for x in &map` / `for x in map` over a hash-bound name.
+            if let Some(pos) = find_word(line, "in").into_iter().next() {
+                if find_word(line, "for").first().is_some_and(|&f| f < pos) {
+                    let tail = line[pos + 2..].trim_start().trim_start_matches('&');
+                    let tail = tail.trim_start_matches("mut ").trim_start();
+                    let tail = tail.strip_prefix("self.").unwrap_or(tail);
+                    let ident: String = tail
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !ident.is_empty() && hash_idents.contains(&ident) {
+                        raw.push(Diagnostic {
+                            path: rel.to_string(),
+                            line: line_no,
+                            rule: RuleId::D2,
+                            message: format!(
+                                "`for … in {ident}` iterates a HashMap/HashSet in hasher \
+                                 order; use BTreeMap/BTreeSet or sort the keys"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // D3 — ambient randomness (applies everywhere, tests included:
+        // unseeded tests cannot be replayed).
+        if on(RuleId::D3) {
+            for pat in AMBIENT_RNG {
+                if (pat.contains(':') && line.contains(pat)) || !find_word(line, pat).is_empty() {
+                    raw.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: line_no,
+                        rule: RuleId::D3,
+                        message: format!(
+                            "ambient randomness `{pat}`; draw from the seeded \
+                             outran_simcore::Rng streams instead"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // D4 — pop_due must drain via `while let`.
+        if on(RuleId::D4) && !class.is_testish && !in_test && line.contains(".pop_due(") {
+            let window_start = idx.saturating_sub(2);
+            let window = masked.code[window_start..=idx].join("\n");
+            if !window.contains("while let") {
+                raw.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: line_no,
+                    rule: RuleId::D4,
+                    message: "`pop_due` outside a `while let` drain: a single pop leaves \
+                              due events queued past their deadline"
+                        .to_string(),
+                });
+            }
+        }
+
+        // D5 — no panics in sim library code.
+        if on(RuleId::D5) && class.is_sim_lib && !in_test {
+            for (pat, what) in [
+                (".unwrap()", "unwrap()"),
+                (".expect(", "expect()"),
+                ("panic!", "panic!"),
+            ] {
+                if line.contains(pat) {
+                    raw.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: line_no,
+                        rule: RuleId::D5,
+                        message: format!(
+                            "`{what}` in sim library code violates the never-panic \
+                             contract; restructure to total code or suppress with a reason"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // D6 — stub markers in library code.
+        if on(RuleId::D6) && !class.is_testish && !in_test {
+            for pat in ["#[allow(dead_code)]", "todo!(", "unimplemented!("] {
+                if line.contains(pat) {
+                    raw.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: line_no,
+                        rule: RuleId::D6,
+                        message: format!("stub marker `{pat}` left in library code"),
+                    });
+                }
+            }
+        }
+    }
+
+    // D6 — stale to-do/fix-me marker comments in library code.
+    if on(RuleId::D6) && !class.is_testish {
+        for (line, text) in &masked.comments {
+            if text.contains(DIRECTIVE) {
+                continue;
+            }
+            let idx = line.saturating_sub(1);
+            if masked.in_test.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            for word in ["TODO", "FIXME"] {
+                if !find_word(text, word).is_empty() {
+                    raw.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: *line,
+                        rule: RuleId::D6,
+                        message: format!(
+                            "`{word}` comment in library code; fix it or convert to a \
+                             reason-suppressed tracked item"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // D7 — crate roots must forbid unsafe code.
+    if on(RuleId::D7) && class.is_crate_root {
+        let has = masked
+            .code
+            .iter()
+            .any(|l| l.contains("#![forbid(unsafe_code)]"));
+        if !has {
+            raw.push(Diagnostic {
+                path: rel.to_string(),
+                line: 1,
+                rule: RuleId::D7,
+                message: "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+
+    // Apply suppressions.
+    for d in raw {
+        let mut suppressed = false;
+        for s in suppressions.iter_mut() {
+            if s.rules.contains(&d.rule) && covers(s.line, d.line) {
+                s.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            diags.push(d);
+        }
+    }
+
+    // L102 — stale suppressions (only meaningful under the full rule set).
+    if check_stale {
+        for s in &suppressions {
+            if !s.used {
+                diags.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: s.line,
+                    rule: RuleId::L102,
+                    message: format!(
+                        "stale suppression: allow({}) matched no diagnostic",
+                        s.rules
+                            .iter()
+                            .map(|r| r.name())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ),
+                });
+            }
+        }
+    }
+
+    diags.sort_by_key(|d| (d.line, d.rule));
+    diags
+}
+
+/// Analyze raw source text (convenience wrapper over [`mask`] +
+/// [`analyze_masked`]).
+pub fn analyze_source(
+    rel: &str,
+    src: &str,
+    enabled: &[RuleId],
+    check_stale: bool,
+) -> Vec<Diagnostic> {
+    analyze_masked(rel, &mask(src), enabled, check_stale)
+}

@@ -1,0 +1,18 @@
+// Fixture: wall-clock reads in sim code. Never compiled.
+use std::time::Instant;
+
+pub fn bad_now() -> std::time::Instant {
+    Instant::now() // line 5: D1
+}
+
+pub fn bad_epoch() -> u64 {
+    let t = std::time::SystemTime::now(); // line 9: D1
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

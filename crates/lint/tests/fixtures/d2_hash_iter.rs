@@ -1,0 +1,33 @@
+// Fixture: hash-order iteration in a sim crate. Never compiled.
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    flows: HashMap<u64, u32>,
+    seen: HashSet<u64>,
+}
+
+impl State {
+    pub fn bad_values(&self) -> u32 {
+        self.flows.values().sum() // line 11: D2
+    }
+
+    pub fn bad_split_chain(&self) -> usize {
+        self.flows
+            .keys() // line 16: D2 (receiver on previous line)
+            .count()
+    }
+
+    pub fn bad_for_loop(&self) {
+        for f in &self.seen {} // line 21: D2
+        let seen = &self.seen;
+        for f in seen {} // line 23: D2
+    }
+
+    pub fn bad_retain(&mut self) {
+        self.flows.retain(|_, v| *v > 0); // line 27: D2
+    }
+
+    pub fn keyed_access_is_fine(&self) -> Option<&u32> {
+        self.flows.get(&1) // no diagnostic: keyed ops are deterministic
+    }
+}

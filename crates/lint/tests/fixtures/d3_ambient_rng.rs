@@ -1,0 +1,17 @@
+// Fixture: ambient randomness. Never compiled.
+pub fn bad_thread_rng() -> u32 {
+    let mut rng = rand::thread_rng(); // line 3: D3
+    0
+}
+
+pub fn bad_random() -> f64 {
+    rand::random() // line 8: D3
+}
+
+pub fn bad_entropy() {
+    let _rng = SmallRng::from_entropy(); // line 12: D3
+}
+
+pub fn seeded_is_fine(seed: u64) -> Rng {
+    Rng::new(seed) // no diagnostic
+}

@@ -1,0 +1,30 @@
+// Fixture: pop_due drain discipline. Never compiled.
+pub fn bad_single_pop(q: &mut EventQueue, now: Time) {
+    if let Some((_, ev)) = q.pop_due(now) { // line 3: D4
+        handle(ev);
+    }
+}
+
+pub fn bad_let_pop(q: &mut EventQueue, now: Time) {
+    let first = q.pop_due(now); // line 9: D4
+}
+
+pub fn good_drain(q: &mut EventQueue, now: Time) {
+    while let Some((_, ev)) = q.pop_due(now) {
+        handle(ev);
+    }
+}
+
+pub fn good_split_drain(q: &mut EventQueue, now: Time) {
+    while let Some((_, ev)) =
+        q.pop_due(now)
+    {
+        handle(ev);
+    }
+}
+
+impl EventQueue {
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, Ev)> {
+        None // definition itself is not a call site
+    }
+}

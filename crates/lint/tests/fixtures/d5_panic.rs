@@ -1,0 +1,26 @@
+// Fixture: panics in sim library code. Never compiled.
+pub fn bad_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap() // line 3: D5
+}
+
+pub fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present") // line 7: D5
+}
+
+pub fn bad_panic(x: u32) {
+    if x > 9 {
+        panic!("x too big"); // line 12: D5
+    }
+}
+
+pub fn total_is_fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) // no diagnostic: unwrap_or is total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: stub markers in library code. Never compiled.
+#[allow(dead_code)] // line 2: D6
+pub fn dead() {}
+
+pub fn stub() {
+    todo!() // line 6: D6
+}
+
+pub fn other_stub() {
+    unimplemented!("later") // line 10: D6
+}
+
+// TODO: finish this — line 13: D6
+pub fn noted() {}
+
+// FIXME handle overflow — line 16: D6
+pub fn broken() {}

@@ -1,0 +1,3 @@
+//! Fixture: a crate root without the unsafe-code forbid. Never compiled.
+
+pub fn item() {}

@@ -1,0 +1,16 @@
+// Fixture: correctly reason-suppressed violations. Expected: clean.
+
+pub fn profiled() -> u64 {
+    // outran-lint: allow(d1) -- profiling hook, measurement only
+    let t = std::time::Instant::now();
+    0
+}
+
+pub fn trailing_form(x: Option<u32>) -> u32 {
+    x.unwrap() // outran-lint: allow(d5) -- guarded by caller invariant
+}
+
+pub fn multi_rule(x: Option<u32>) -> u32 {
+    // outran-lint: allow(d5,d1) -- both fire on the next line in this fixture
+    x.expect("x").wrapping_add(std::time::Instant::now().elapsed().as_secs() as u32)
+}

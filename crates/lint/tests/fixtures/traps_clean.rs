@@ -1,0 +1,31 @@
+// Fixture: every rule pattern hidden where the lexer must NOT see it.
+// Analyzed as sim-crate library code; expected diagnostics: none.
+
+// A line comment mentioning Instant::now() and thread_rng and .unwrap()
+// and panic! and SystemTime and todo!() — comments never trip code rules.
+
+/* Block comment: x.unwrap(); rand::random(); q.pop_due(now); HashMap
+   /* nested: still a comment — Instant::now() */
+   still inside the outer comment: .expect("boom") */
+
+pub fn string_literals() -> &'static str {
+    let a = "Instant::now() thread_rng .unwrap() panic! SystemTime";
+    let b = "escaped quote \" then .expect(\"x\") still in string";
+    let c = r#"raw string: rand::random() and "quoted" pop_due("#;
+    let d = r##"deeper raw: from_entropy() "# still raw "# here"##;
+    let e = b"byte string with .unwrap() inside";
+    a
+}
+
+pub fn char_literals_and_lifetimes<'a>(x: &'a str) -> &'a str {
+    let quote = '"'; // a double-quote char must not open a string
+    let escaped = '\''; // escaped single quote
+    let newline = '\n';
+    let plus = '+';
+    x
+}
+
+pub fn doc_attr(s: &str) -> usize {
+    // The word unwrap_or must not match the bare-unwrap pattern:
+    s.len().checked_sub(1).unwrap_or(0)
+}

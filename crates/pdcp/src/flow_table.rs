@@ -15,7 +15,7 @@
 //! hash table; §7 sizes it at 41 bytes per flow (37 key + 4 counter).
 //! §6.3 adds "Priority Boost": resetting all flow states every period S.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use outran_simcore::{Dur, Time};
@@ -105,7 +105,10 @@ pub struct FlowTable {
     /// Shared (`Arc`) so a cell's per-UE tables reference one config
     /// instead of cloning the threshold vector per UE.
     mlfq: Arc<MlfqConfig>,
-    flows: HashMap<FiveTuple, FlowState>,
+    /// Tuple-ordered so every traversal (export, GC, eviction scan) is
+    /// deterministic; the paper's hash table would iterate in hasher
+    /// order and poison replay fingerprints (outran-lint D2).
+    flows: BTreeMap<FiveTuple, FlowState>,
     /// Idle entries older than this are evicted on [`FlowTable::gc`].
     idle_timeout: Dur,
     /// Admission-control cap on tracked entries (`None` = unbounded).
@@ -128,7 +131,7 @@ impl FlowTable {
     pub fn shared(mlfq: Arc<MlfqConfig>) -> FlowTable {
         FlowTable {
             mlfq,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             idle_timeout: Dur::from_secs(30),
             max_entries: None,
             evicted: 0,
@@ -232,7 +235,7 @@ impl FlowTable {
     }
 
     /// Evict the least-recently-seen entry (tuple order breaks ties so
-    /// eviction is deterministic regardless of hash iteration order).
+    /// eviction is deterministic regardless of traversal order).
     fn evict_one(&mut self) {
         let victim = self
             .flows

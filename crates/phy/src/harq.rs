@@ -127,8 +127,9 @@ impl<T> HarqQueue<T> {
             .pending
             .iter()
             .position(|(due, tb)| *due <= now && tb.bits <= budget_bits)?;
+        let (_, tb) = self.pending.remove(idx)?;
         self.retx_served += 1;
-        Some(self.pending.remove(idx).unwrap().1)
+        Some(tb)
     }
 
     /// Bits owed to retransmissions due at `now` (the MAC should grant

@@ -854,9 +854,11 @@ impl Cell {
         let mut lap = self
             .profile
             .is_some()
+            // outran-lint: allow(d1) -- opt-in `--profile` wall-time instrumentation; never feeds simulation state
             .then(|| (std::time::Instant::now(), [0u64; 5]));
         fn mark(lap: &mut Option<(std::time::Instant, [u64; 5])>, slot: usize) {
             if let Some((last, acc)) = lap {
+                // outran-lint: allow(d1) -- profiling lap timer, measurement only
                 let t = std::time::Instant::now();
                 acc[slot] += t.duration_since(*last).as_nanos() as u64;
                 *last = t;
@@ -1297,9 +1299,7 @@ impl Cell {
                     while owed > 0.0 {
                         let Some(max_sb) = (0..n_sb)
                             .max_by(|&a, &b| {
-                                group_bits[ue * n_sb + a]
-                                    .partial_cmp(&group_bits[ue * n_sb + b])
-                                    .unwrap()
+                                group_bits[ue * n_sb + a].total_cmp(&group_bits[ue * n_sb + b])
                             })
                             .filter(|&sb| group_bits[ue * n_sb + sb] > 0.0)
                         else {

@@ -92,13 +92,20 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let job = jobs.lock().expect("job queue poisoned").pop_front();
+                // Poison recovery instead of panicking: a poisoned lock
+                // means another worker already panicked, and the scope
+                // will re-raise that panic at join; the queue itself is
+                // still structurally sound.
+                let job = jobs
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop_front();
                 match job {
                     Some((idx, item)) => {
                         let out = f(item);
                         results
                             .lock()
-                            .expect("result sink poisoned")
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
                             .push((idx, out));
                     }
                     None => break,
@@ -107,7 +114,9 @@ where
         }
     });
 
-    let mut out = results.into_inner().expect("result sink poisoned");
+    let mut out = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     out.sort_by_key(|&(idx, _)| idx);
     out.into_iter().map(|(_, r)| r).collect()
 }

@@ -7,7 +7,7 @@
 //! the page's render time (the §6.1 observation that some pages are
 //! render-dominated is carried by the per-page `render_ms`).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use outran_simcore::{Dur, Rng, Time};
 use outran_workload::{BrowserModel, WebObject, WebPage};
@@ -90,13 +90,23 @@ pub fn load_page(
     };
 
     let mut pending: VecDeque<WebObject> = objects.into_iter().collect();
-    let mut in_flight: HashMap<usize, (u64, Time)> = HashMap::new(); // flow -> (conn, launch)
-    let mut active_conns: HashMap<u64, usize> = HashMap::new(); // conn -> live objects
+    // Ordered maps: no iteration today, but keeping the sim crates
+    // hash-free means a future traversal cannot regress replay (D2).
+    let mut in_flight: BTreeMap<usize, (u64, Time)> = BTreeMap::new(); // flow -> (conn, launch)
+    let mut active_conns: BTreeMap<u64, usize> = BTreeMap::new(); // conn -> live objects
     let mut object_fcts = Vec::new();
     let mut last_done = start;
 
     // HTML-first: launch only the first object, wait for it.
-    let html = pending.pop_front().expect("page has objects");
+    let Some(html) = pending.pop_front() else {
+        // Unreachable (non-empty asserted above): an object-less page is
+        // pure render time.
+        return PltRun {
+            page: page.name,
+            plt: Dur::from_millis(page.render_ms),
+            object_fcts,
+        };
+    };
     let html_conn = conn_of(&html);
     let fid = cell.schedule_flow(start, ue, html.bytes.max(64), Some(html_conn));
     in_flight.insert(fid, (html_conn, start));
@@ -110,10 +120,11 @@ pub fn load_page(
             if let Some((conn, launched)) = in_flight.remove(&d.id) {
                 object_fcts.push(now.saturating_since(launched));
                 last_done = now;
-                let c = active_conns.get_mut(&conn).expect("conn tracked");
-                *c -= 1;
-                if *c == 0 {
-                    active_conns.remove(&conn);
+                if let Some(c) = active_conns.get_mut(&conn) {
+                    *c -= 1;
+                    if *c == 0 {
+                        active_conns.remove(&conn);
+                    }
                 }
                 html_done = true; // first completion is necessarily the HTML
             }
@@ -130,7 +141,9 @@ pub fn load_page(
             if occupies_new_slot && active_conns.len() >= browser.max_concurrent as usize {
                 break;
             }
-            let obj = pending.pop_front().unwrap();
+            let Some(obj) = pending.pop_front() else {
+                break; // unreachable: front() just returned Some
+            };
             let fid = cell.schedule_flow(now, ue, obj.bytes.max(64), Some(conn));
             in_flight.insert(fid, (conn, now));
             *active_conns.entry(conn).or_insert(0) += 1;

@@ -193,12 +193,14 @@ impl AmTx {
         let mut out = Vec::new();
 
         // 2. Retransmission queue (whole PDUs).
-        while let Some(pdu) = self.retxq.front() {
-            let cost = hdr + pdu.seg.len as u64;
+        while let Some(front) = self.retxq.front() {
+            let cost = hdr + front.seg.len as u64;
             if used + cost > budget {
                 break;
             }
-            let mut pdu = self.retxq.pop_front().unwrap();
+            let Some(mut pdu) = self.retxq.pop_front() else {
+                break;
+            };
             used += cost;
             self.retx_count += 1;
             pdu.poll = self.should_poll(now);
@@ -227,9 +229,10 @@ impl AmTx {
             && self.retxq.is_empty()
             && !out.iter().any(|p| p.poll)
         {
-            out.last_mut().unwrap().poll = true;
-            if let Some(last) = out.last() {
-                if let Some((fp, _)) = self.flight.get_mut(&last.sn) {
+            if let Some(last) = out.last_mut() {
+                last.poll = true;
+                let sn = last.sn;
+                if let Some((fp, _)) = self.flight.get_mut(&sn) {
                     fp.poll = true;
                 }
             }
@@ -425,7 +428,8 @@ pub struct AmRx {
     window: BTreeMap<u32, AmPdu>,
     rx_next: u32,
     highest_seen: Option<u32>,
-    partials: std::collections::HashMap<u64, RxPartial>,
+    /// Keyed by SDU id, ordered for deterministic traversal (outran-lint D2).
+    partials: BTreeMap<u64, RxPartial>,
     last_status_at: Option<Time>,
     status_requested: bool,
     /// SDUs delivered in order.
@@ -440,7 +444,7 @@ impl AmRx {
             window: BTreeMap::new(),
             rx_next: 0,
             highest_seen: None,
-            partials: std::collections::HashMap::new(),
+            partials: BTreeMap::new(),
             last_status_at: None,
             status_requested: false,
             delivered_count: 0,
@@ -492,8 +496,7 @@ impl AmRx {
         p.received += seg.len;
         p.next_offset += seg.len;
         if p.received == p.sdu_len {
-            let p = self.partials.remove(&seg.sdu_id).unwrap();
-            Some(DeliveredSdu {
+            self.partials.remove(&seg.sdu_id).map(|p| DeliveredSdu {
                 sdu_id: seg.sdu_id,
                 flow_id: p.flow_id,
                 len: p.sdu_len,

@@ -161,7 +161,9 @@ impl MlfqQueues {
             let Some(vl) = victim_level else {
                 return Err(sdu); // nothing worse to evict: drop incoming
             };
-            let victim = self.queues[vl].pop_back().expect("non-empty");
+            let Some(victim) = self.queues[vl].pop_back() else {
+                return Err(sdu); // unreachable: vl was found non-empty
+            };
             self.sub_level_bytes(vl, victim.remaining() as u64);
             self.n_sdus -= 1;
             self.add_level_bytes(level, sdu.remaining() as u64);
@@ -285,16 +287,20 @@ impl MlfqQueues {
                 .rev()
                 .find(|&l| !self.queues[l].is_empty());
             let victim = match victim_level {
-                Some(l) => {
-                    let v = self.queues[l].pop_back().expect("non-empty");
-                    self.sub_level_bytes(l, v.remaining() as u64);
-                    v
-                }
-                None => {
-                    let v = self.promoted.pop_back().expect("n_sdus > 0");
-                    self.promoted_bytes -= v.remaining() as u64;
-                    v
-                }
+                Some(l) => match self.queues[l].pop_back() {
+                    Some(v) => {
+                        self.sub_level_bytes(l, v.remaining() as u64);
+                        v
+                    }
+                    None => break, // unreachable: l was found non-empty
+                },
+                None => match self.promoted.pop_back() {
+                    Some(v) => {
+                        self.promoted_bytes -= v.remaining() as u64;
+                        v
+                    }
+                    None => break, // n_sdus drifted from queue contents
+                },
             };
             self.n_sdus -= 1;
             evicted.push(victim);

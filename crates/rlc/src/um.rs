@@ -15,7 +15,7 @@
 //!   is discarded (TS 38.322 t-Reassembly), the §4.4 hazard that makes
 //!   segment promotion necessary.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use outran_pdcp::Priority;
 use outran_simcore::{Dur, Time};
@@ -201,7 +201,9 @@ struct Partial {
 /// UM receiving entity (UE side).
 #[derive(Debug, Clone, Default)]
 pub struct UmRx {
-    partials: HashMap<u64, Partial>,
+    /// Keyed by SDU id, ordered so held-bytes accounting and expiry
+    /// sweeps traverse deterministically (outran-lint D2).
+    partials: BTreeMap<u64, Partial>,
     /// SDUs discarded because the reassembly window expired (§4.4 hazard).
     pub discarded_sdus: u64,
     /// Payload bytes that reached this receiver but were discarded with
@@ -214,7 +216,7 @@ impl UmRx {
     /// Create a receiver with the given reassembly window.
     pub fn new(window: Dur) -> UmRx {
         UmRx {
-            partials: HashMap::new(),
+            partials: BTreeMap::new(),
             discarded_sdus: 0,
             discarded_bytes: 0,
             window,
@@ -255,7 +257,7 @@ impl UmRx {
         p.received += seg.len;
         p.next_offset += seg.len;
         if p.received == p.sdu_len {
-            let p = self.partials.remove(&seg.sdu_id).unwrap();
+            let p = self.partials.remove(&seg.sdu_id)?;
             return Some(DeliveredSdu {
                 sdu_id: seg.sdu_id,
                 flow_id: p.flow_id,

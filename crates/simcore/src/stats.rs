@@ -240,8 +240,7 @@ impl Percentiles {
             return f64::NAN;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
         let p = p.clamp(0.0, 100.0);

@@ -64,9 +64,10 @@ impl TcpReceiver {
             .map(|(&s, _)| s)
             .collect();
         for s in overlapping {
-            let e = self.ooo.remove(&s).unwrap();
-            start = start.min(s);
-            end = end.max(e);
+            if let Some(e) = self.ooo.remove(&s) {
+                start = start.min(s);
+                end = end.max(e);
+            }
         }
         self.ooo.insert(start, end);
     }

@@ -87,18 +87,18 @@ impl RttEstimator {
     }
 
     fn sample(&mut self, rtt: f64) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(rtt);
                 self.rttvar = rtt / 2.0;
+                rtt
             }
             Some(srtt) => {
                 self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - rtt).abs();
-                self.srtt = Some(0.875 * srtt + 0.125 * rtt);
+                0.875 * srtt + 0.125 * rtt
             }
-        }
-        self.rto =
-            (self.srtt.unwrap() + (4.0 * self.rttvar).max(0.001)).clamp(self.min_rto, self.max_rto);
+        };
+        self.srtt = Some(srtt);
+        self.rto = (srtt + (4.0 * self.rttvar).max(0.001)).clamp(self.min_rto, self.max_rto);
     }
 
     fn backoff(&mut self) {
@@ -361,9 +361,10 @@ impl TcpSender {
                 if self.cubic.epoch_start.is_none() {
                     self.cubic_epoch_reset(now);
                 }
-                let t = now
-                    .saturating_since(self.cubic.epoch_start.unwrap())
-                    .as_secs_f64();
+                // Total: the reset above guarantees `Some`; fall back to
+                // a zero-length epoch rather than panicking.
+                let epoch = self.cubic.epoch_start.unwrap_or(now);
+                let t = now.saturating_since(epoch).as_secs_f64();
                 let target_segs = self.cfg.cubic_c * (t - self.cubic.k).powi(3) + self.cubic.w_max;
                 let target = target_segs * mss;
                 if target > self.cwnd {

@@ -168,7 +168,9 @@ fn split_heavy(total: u64, n: u32, rng: &mut Rng) -> Vec<u64> {
         .collect();
     // Fix rounding drift on the largest object.
     let assigned: u64 = sizes.iter().sum();
-    let idx_max = (0..sizes.len()).max_by_key(|&i| sizes[i]).expect("n >= 1");
+    let Some(idx_max) = (0..sizes.len()).max_by_key(|&i| sizes[i]) else {
+        return sizes; // n == 0: nothing to rebalance
+    };
     if assigned > total {
         let over = assigned - total;
         sizes[idx_max] = sizes[idx_max].saturating_sub(over).max(64);

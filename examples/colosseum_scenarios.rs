@@ -5,6 +5,8 @@
 //! Usage:
 //!   cargo run --release --example colosseum_scenarios [-- <load>]
 
+#![forbid(unsafe_code)]
+
 use outran::phy::Scenario;
 use outran::ran::cell::SchedulerKind;
 use outran::ran::multicell::MultiCell;

@@ -4,6 +4,8 @@
 //!
 //! Usage: cargo run --release --example nr_numerology [-- <load>]
 
+#![forbid(unsafe_code)]
+
 use outran::ran::{Experiment, SchedulerKind};
 use outran::simcore::Dur;
 
