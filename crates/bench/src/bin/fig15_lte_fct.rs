@@ -60,10 +60,10 @@ fn main() {
     let mut it = results.into_iter();
     for kind in KINDS {
         let mut rows: [Vec<String>; 4] = [
-            vec![kind.name()],
-            vec![kind.name()],
-            vec![kind.name()],
-            vec![kind.name()],
+            vec![kind.name().to_string()],
+            vec![kind.name().to_string()],
+            vec![kind.name().to_string()],
+            vec![kind.name().to_string()],
         ];
         let mut hsum: Option<AvgReport> = None;
         for _ in &loads {

@@ -34,7 +34,7 @@ fn main() {
                 &SEEDS,
             );
             t.row(&[
-                kind.name(),
+                kind.name().to_string(),
                 format!("{load:.1}"),
                 f2(r.spectral_efficiency),
                 f3(r.fairness),

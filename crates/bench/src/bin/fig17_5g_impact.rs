@@ -46,7 +46,7 @@ fn main() {
                     );
                     t.row(&[
                         format!("{} / {}", mu, 1000 >> mu),
-                        kind.name(),
+                        kind.name().to_string(),
                         f1(r.mean_rtt_ms),
                         f1(r.mean_qdelay_ms),
                         f1(r.short_qdelay_ms),

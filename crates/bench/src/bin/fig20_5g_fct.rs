@@ -23,7 +23,7 @@ fn main() {
         SchedulerKind::Srjf,
         SchedulerKind::OutRan,
     ] {
-        let mut row = vec![kind.name()];
+        let mut row = vec![kind.name().to_string()];
         for load in [0.4, 0.5, 0.6, 0.7, 0.8] {
             let r = run_avg(
                 |seed| {
@@ -38,7 +38,7 @@ fn main() {
             row.push(f1(r.overall_mean_ms));
             if (load - 0.4).abs() < 1e-9 || (load - 0.6).abs() < 1e-9 || (load - 0.8).abs() < 1e-9 {
                 sf.row(&[
-                    kind.name(),
+                    kind.name().to_string(),
                     format!("{load:.1}"),
                     f2(r.spectral_efficiency),
                     f3(r.fairness),

@@ -47,7 +47,7 @@ fn main() {
             tails.push(r.short_p95_ms);
             t.row(&[
                 label.into(),
-                kind.name(),
+                kind.name().to_string(),
                 f1(r.short_mean_ms),
                 f1(r.short_p95_ms),
                 f1(r.overall_mean_ms),

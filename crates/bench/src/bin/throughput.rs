@@ -170,7 +170,8 @@ fn idle_heavy_json(m: &IdleHeavy) -> String {
     )
 }
 
-/// `--profile`: per-layer wall-time attribution of the active pipeline.
+/// `--profile`: per-stage wall-time attribution of the active pipeline
+/// (exclusive time per pipeline stage, via the `StageTimer` observer).
 fn profile_mode() {
     for kind in KINDS {
         let mut cell = build_cell(kind);
@@ -183,14 +184,16 @@ fn profile_mode() {
         let total = p.total_ns().max(1) as f64;
         let pct = |ns: u64| 100.0 * ns as f64 / total;
         println!(
-            "[profile] {:<12} phy {:5.1}%  rlc {:5.1}%  mac {:5.1}%  \
-             faults {:4.1}%  transport {:5.1}%  (attributed {:.3}s of {wall:.3}s wall)",
+            "[profile] {:<12} ingress {:5.1}%  rlc_down {:5.1}%  mac_sched {:5.1}%  \
+             phy_tx {:5.1}%  delivery {:5.1}%  housekeeping {:4.1}%  \
+             (attributed {:.3}s of {wall:.3}s wall)",
             kind.name(),
-            pct(p.phy_ns),
-            pct(p.rlc_ns),
-            pct(p.mac_ns),
-            pct(p.faults_ns),
-            pct(p.transport_ns),
+            pct(p.ingress_ns),
+            pct(p.rlc_down_ns),
+            pct(p.mac_sched_ns),
+            pct(p.phy_tx_ns),
+            pct(p.delivery_ns),
+            pct(p.housekeeping_ns),
             total / 1e9,
         );
     }

@@ -29,11 +29,11 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--rule" => {
                 let Some(name) = args.next() else {
-                    eprintln!("error: --rule needs an argument (one of D1..D7, L100..L102)");
+                    eprintln!("error: --rule needs an argument (one of D1..D8, L100..L102)");
                     return ExitCode::from(2);
                 };
                 let Some(rule) = RuleId::parse(&name) else {
-                    eprintln!("error: unknown rule `{name}` (expected D1..D7 or L100..L102)");
+                    eprintln!("error: unknown rule `{name}` (expected D1..D8 or L100..L102)");
                     return ExitCode::from(2);
                 };
                 rules.push(rule);

@@ -27,6 +27,11 @@ pub enum RuleId {
     D6,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     D7,
+    /// Stage structs (`*Stage` under `crates/ran/src/stages/`) with
+    /// non-private fields: stage state crosses stage boundaries only
+    /// through the typed pipeline messages, never by reaching into
+    /// another stage's struct.
+    D8,
     /// Suppression directive without a written reason.
     L100,
     /// Suppression directive naming an unknown rule.
@@ -38,7 +43,7 @@ pub enum RuleId {
 impl RuleId {
     /// All catalog rules (excludes the `L1xx` suppression-hygiene
     /// meta-rules, which are always on).
-    pub const CATALOG: [RuleId; 7] = [
+    pub const CATALOG: [RuleId; 8] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -46,6 +51,7 @@ impl RuleId {
         RuleId::D5,
         RuleId::D6,
         RuleId::D7,
+        RuleId::D8,
     ];
 
     /// Canonical name, e.g. `"D2"`.
@@ -58,6 +64,7 @@ impl RuleId {
             RuleId::D5 => "D5",
             RuleId::D6 => "D6",
             RuleId::D7 => "D7",
+            RuleId::D8 => "D8",
             RuleId::L100 => "L100",
             RuleId::L101 => "L101",
             RuleId::L102 => "L102",
@@ -74,6 +81,7 @@ impl RuleId {
             "D5" => Some(RuleId::D5),
             "D6" => Some(RuleId::D6),
             "D7" => Some(RuleId::D7),
+            "D8" => Some(RuleId::D8),
             "L100" => Some(RuleId::L100),
             "L101" => Some(RuleId::L101),
             "L102" => Some(RuleId::L102),
@@ -581,6 +589,11 @@ pub fn analyze_masked(
         }
     }
 
+    // D8 — stage structs must keep their fields private.
+    if on(RuleId::D8) && rel.starts_with("crates/ran/src/stages/") {
+        d8_stage_fields(rel, masked, &mut raw);
+    }
+
     // Apply suppressions.
     for d in raw {
         let mut suppressed = false;
@@ -618,6 +631,118 @@ pub fn analyze_masked(
 
     diags.sort_by_key(|d| (d.line, d.rule));
     diags
+}
+
+/// D8: every struct named `*Stage` in a pipeline-stage file must
+/// declare only private fields. The stage contract routes all
+/// cross-stage state through typed messages and accessor methods; a
+/// `pub` (or `pub(…)`) field would let other code reach into a stage's
+/// slice of the former god-object again. Line-based like the other
+/// rules: rustfmt keeps one field per line in this workspace.
+fn d8_stage_fields(rel: &str, masked: &MaskedFile, raw: &mut Vec<Diagnostic>) {
+    let n = masked.code.len();
+    let mut i = 0;
+    while i < n {
+        let line = &masked.code[i];
+        let decl = find_word(line, "struct")
+            .into_iter()
+            .next()
+            .filter(|_| !masked.in_test.get(i).copied().unwrap_or(false));
+        let Some(kw) = decl else {
+            i += 1;
+            continue;
+        };
+        let rest = line[kw + "struct".len()..].trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() || !name.ends_with("Stage") {
+            i += 1;
+            continue;
+        }
+        // Find the body opener — `{` (named fields), `(` (tuple
+        // struct) or `;` (unit struct), whichever comes first.
+        let mut opener: Option<(usize, usize, char)> = None; // (line idx, byte off, kind)
+        'scan: for j in i..n {
+            let start = if j == i { kw } else { 0 };
+            let text = &masked.code[j][start..];
+            for (off, c) in text.char_indices() {
+                if matches!(c, '{' | '(' | ';') {
+                    opener = Some((j, start + off, c));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((open_idx, open_off, kind)) = opener else {
+            break;
+        };
+        if kind == ';' {
+            i = open_idx + 1;
+            continue;
+        }
+        let (open_ch, close_ch) = if kind == '{' { ('{', '}') } else { ('(', ')') };
+        let mut depth = 0i32;
+        let mut j = open_idx;
+        'body: while j < n {
+            let start = if j == open_idx { open_off } else { 0 };
+            let text = &masked.code[j][start..];
+            let fires = depth == 1
+                && text
+                    .trim_start()
+                    .strip_prefix("pub")
+                    .is_some_and(|r| r.starts_with(' ') || r.starts_with('('));
+            if fires {
+                let field = text
+                    .trim_start()
+                    .split_once(':')
+                    .and_then(|(head, _)| last_ident(head.trim_end()))
+                    .unwrap_or_else(|| "field".to_string());
+                raw.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: j + 1,
+                    rule: RuleId::D8,
+                    message: format!(
+                        "non-private field `{field}` on stage struct `{name}`; stage state \
+                         crosses stages only through typed messages — keep fields private \
+                         and expose accessors"
+                    ),
+                });
+            }
+            for (off, c) in text.char_indices() {
+                if c == open_ch {
+                    depth += 1;
+                } else if c == close_ch {
+                    depth -= 1;
+                    if depth == 0 {
+                        // Tuple-struct bodies get a whole-body check:
+                        // their fields share the declaration line.
+                        if kind == '(' && j == open_idx {
+                            let body = &masked.code[j][open_off..start + off];
+                            if !find_word(body, "pub").is_empty() {
+                                raw.push(Diagnostic {
+                                    path: rel.to_string(),
+                                    line: j + 1,
+                                    rule: RuleId::D8,
+                                    message: format!(
+                                        "non-private field on stage struct `{name}`; stage \
+                                         state crosses stages only through typed messages — \
+                                         keep fields private and expose accessors"
+                                    ),
+                                });
+                            }
+                        }
+                        i = j + 1;
+                        break 'body;
+                    }
+                }
+            }
+            j += 1;
+            if j >= n {
+                i = n;
+            }
+        }
+    }
 }
 
 /// Analyze raw source text (convenience wrapper over [`mask`] +

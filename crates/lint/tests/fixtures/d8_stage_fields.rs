@@ -1,0 +1,19 @@
+//! D8 fixture: stage structs must keep their fields private.
+
+pub struct IngressStage {
+    pub open_flows: u64,
+    pub(crate) injected_bytes: u64,
+    dropped_bytes: u64,
+}
+
+struct TupleStage(pub u64, u32);
+
+/// Not a `*Stage` struct: pub fields are a typed pipeline message.
+pub struct TtiSummary {
+    pub used_rbs: u32,
+}
+
+pub struct DeliveryStage {
+    completions: Vec<u64>,
+    delivered_bytes: u64,
+}

@@ -128,6 +128,19 @@ fn d7_missing_forbid_fires_on_crate_roots_only() {
 }
 
 #[test]
+fn d8_stage_pub_fields_fire() {
+    let got = run_at("crates/ran/src/stages/fixture.rs", "d8_stage_fields.rs");
+    assert_eq!(got, vec![(4, RuleId::D8), (5, RuleId::D8), (9, RuleId::D8)]);
+}
+
+#[test]
+fn d8_is_scoped_to_stage_files() {
+    let src = fixture("d8_stage_fields.rs");
+    assert!(analyze_source("crates/ran/src/cell.rs", &src, &[RuleId::D8], false).is_empty());
+    assert!(analyze_source("crates/mac/src/lib.rs", &src, &[RuleId::D8], false).is_empty());
+}
+
+#[test]
 fn lexer_traps_stay_clean() {
     let got = run_at(SIM_LIB, "traps_clean.rs");
     assert_eq!(got, vec![], "literal/comment contents must never fire");

@@ -1,402 +1,61 @@
-//! The single-cell end-to-end simulator.
+//! The single-cell end-to-end simulator — now a thin orchestrator over
+//! the staged per-TTI pipeline in [`crate::stages`].
 //!
 //! One [`Cell`] owns the full downlink path of Figure 11(b):
 //!
-//! * **Server side** — one [`TcpSender`] per flow (Cubic), emitting
-//!   segments that reach the xNodeB after the wired CN delay;
+//! * **Server side** — one TCP sender per flow (Cubic), emitting
+//!   segments that reach the xNodeB after the wired CN delay
+//!   ([`crate::stages::IngressStage`]);
 //! * **xNodeB** — per-UE PDCP flow table (MLFQ marking), per-UE RLC
-//!   entity (UM or AM, MLFQ or legacy FIFO), and a MAC scheduler invoked
-//!   every TTI over the PHY channel's per-RB rates;
-//! * **Air interface** — per-(UE, subband) transport-block error draws:
-//!   a HARQ-recovered error wastes the airtime (data stays queued), a
-//!   rare residual error actually loses the segments (UM) or triggers
-//!   the AM NACK/retransmission machinery;
-//! * **UE side** — RLC reassembly, per-flow [`TcpReceiver`], cumulative
-//!   ACKs returning over the uplink delay.
+//!   entity ([`crate::stages::RlcDownStage`]), and a MAC
+//!   scheduler invoked every TTI over the PHY channel's per-RB rates
+//!   ([`crate::stages::MacSchedStage`]);
+//! * **Air interface** — per-(UE, subband) transport-block error draws
+//!   ([`crate::stages::PhyTxStage`]);
+//! * **UE side** — RLC reassembly, per-flow TCP receiver, cumulative
+//!   ACKs returning over the uplink delay
+//!   ([`crate::stages::DeliveryStage`]);
+//! * **Maintenance** — fault edges, invariant audits, RLC timers and GC
+//!   ([`crate::stages::HousekeepingStage`]).
 //!
-//! The event queue carries flow arrivals, packet/ACK propagation and AM
-//! STATUS PDUs; everything else is TTI-clocked. All randomness is forked
-//! from one seed: equal seeds ⇒ identical runs.
+//! Stages own disjoint slices of the former monolith's state and talk
+//! only through the typed messages in [`crate::stages`]; the `Cell`
+//! sequences them. All randomness is forked from one seed: equal seeds
+//! ⇒ identical runs.
 
-use outran_core::{OutRanConfig, PriorityReset};
-use outran_faults::{
-    ActiveFaults, AuditConfig, AuditSnapshot, ByteLedger, FaultPlan, FaultStats, InvariantAuditor,
-    Violation,
+pub use crate::config::{CellConfig, FlowDone, GbrBearer, RlcMode, SchedulerKind};
+pub use crate::stages::StepProfile;
+
+use crate::stages::{
+    DeliveryStage, HousekeepingStage, IngressStage, MacSchedStage, ObserverHost, PhyTxStage,
+    RlcDownStage, RlcRx, RlcTx, StageId, StageObserver, TtiSummary, UeContext,
 };
-use outran_mac::{
-    Allocation, CqaScheduler, MtScheduler, OutRanScheduler, PfScheduler, PssScheduler, QosParams,
-    RateSource, RrScheduler, Scheduler, SrjfScheduler, UeTti,
-};
+use outran_faults::{AuditSnapshot, ByteLedger, FaultStats, InvariantAuditor, Violation};
 use outran_metrics::{CellMetrics, FctCollector};
-use outran_pdcp::{FiveTuple, FlowTable, MlfqConfig};
-use outran_phy::channel::{CellChannel, ChannelConfig};
-use outran_rlc::am::{AmConfig, AmRx, AmTx, StatusPdu};
-use outran_rlc::sdu::RlcSdu;
-use outran_rlc::um::{UmConfig, UmRx, UmTx};
-use outran_simcore::{Dur, EventQueue, Rng, Time};
-use outran_transport::{TcpConfig, TcpReceiver, TcpSender};
+use outran_pdcp::FiveTuple;
+use outran_simcore::{Dur, Rng, Time};
 
-/// Which MAC scheduler drives the cell.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum SchedulerKind {
-    /// Proportional Fair (baseline).
-    Pf,
-    /// Max Throughput.
-    Mt,
-    /// Round Robin.
-    Rr,
-    /// Blind Equal Throughput (classic LTE baseline).
-    Bet,
-    /// Modified Largest Weighted Delay First (classic LTE baseline).
-    Mlwdf,
-    /// Oracle SRJF (channel-blind, perfect flow sizes).
-    Srjf,
-    /// Priority Set Scheduler (QoS-aware baseline).
-    Pss,
-    /// Channel & QoS Aware scheduler (QoS-aware baseline).
-    Cqa,
-    /// OutRAN with the paper's default ε = 0.2 over PF.
-    OutRan,
-    /// OutRAN with an explicit ε over PF (ε = 0 ⇒ intra-user only).
-    OutRanEps(f64),
-    /// OutRAN over the MT metric (Fig 18b ablation).
-    OutRanOverMt(f64),
-    /// Strict MLFQ: ε = 1, the "entire room for SJF" comparison (Fig 7).
-    StrictMlfq,
-}
-
-impl SchedulerKind {
-    /// Whether this scheduler family uses the per-UE MLFQ at RLC
-    /// (baselines run the legacy FIFO).
-    pub fn uses_mlfq(self) -> bool {
-        matches!(
-            self,
-            SchedulerKind::OutRan
-                | SchedulerKind::OutRanEps(_)
-                | SchedulerKind::OutRanOverMt(_)
-                | SchedulerKind::StrictMlfq
-        )
-    }
-
-    /// Whether this scheduler performs *flow-level* scheduling with
-    /// oracle flow sizes (SRJF): the RLC then orders SDUs by remaining
-    /// flow size instead of PDCP's sent-bytes MLFQ, reproducing the
-    /// NS-3 SRJF that "schedules flows based on the remaining flow size".
-    pub fn uses_oracle_priority(self) -> bool {
-        matches!(self, SchedulerKind::Srjf)
-    }
-
-    /// Display name.
-    pub fn name(self) -> String {
-        match self {
-            SchedulerKind::Pf => "PF".into(),
-            SchedulerKind::Mt => "MT".into(),
-            SchedulerKind::Rr => "RR".into(),
-            SchedulerKind::Bet => "BET".into(),
-            SchedulerKind::Mlwdf => "M-LWDF".into(),
-            SchedulerKind::Srjf => "SRJF".into(),
-            SchedulerKind::Pss => "PSS".into(),
-            SchedulerKind::Cqa => "CQA".into(),
-            SchedulerKind::OutRan => "OutRAN".into(),
-            SchedulerKind::OutRanEps(e) => format!("OutRAN(e={e})"),
-            SchedulerKind::OutRanOverMt(e) => format!("OutRAN-MT(e={e})"),
-            SchedulerKind::StrictMlfq => "StrictMLFQ".into(),
-        }
-    }
-}
-
-/// RLC mode for the data bearers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RlcMode {
-    /// Unacknowledged Mode (the paper's default).
-    Um,
-    /// Acknowledged Mode (§6.3 case study).
-    Am,
-}
-
-/// Full cell configuration.
-#[derive(Debug, Clone)]
-pub struct CellConfig {
-    /// PHY/channel configuration (see [`outran_phy::scenario`]).
-    pub channel: ChannelConfig,
-    /// Number of attached UEs.
-    pub n_ues: usize,
-    /// MAC scheduler.
-    pub scheduler: SchedulerKind,
-    /// PF fairness window T_f.
-    pub tf: Dur,
-    /// OutRAN policy knobs (MLFQ thresholds, promotion, reset, …).
-    pub outran: OutRanConfig,
-    /// RLC mode.
-    pub rlc_mode: RlcMode,
-    /// Per-UE RLC buffer capacity in SDUs (srsENB default 128; Fig 3b
-    /// scales it ×5).
-    pub buffer_sdus: usize,
-    /// One-way server↔P-GW wired delay (Fig 11b: 10 ms; Fig 17: 20 ms
-    /// remote / 5 ms MEC).
-    pub cn_delay: Dur,
-    /// Extra uplink latency for ACK/STATUS delivery beyond `cn_delay`
-    /// (air + processing).
-    pub ul_air_delay: Dur,
-    /// TCP endpoint configuration.
-    pub tcp: TcpConfig,
-    /// Residual (post-HARQ) transport-block loss probability.
-    pub residual_loss: f64,
-    /// Leftover-capacity policy of the SRJF oracle (see
-    /// [`outran_mac::srjf::SrjfMode`]). `Waterfall` is the good-faith
-    /// engineering reading; `WinnerOnly` reproduces the severe
-    /// SE/fairness/long-flow damage the paper measures under its
-    /// high-variance LTE channel trace, where most of the full-bandwidth
-    /// grant to the shortest flow's user is wasted.
-    pub srjf_mode: outran_mac::srjf::SrjfMode,
-    /// Explicit HARQ retransmission modelling (`None` = the default
-    /// folded model where a failed TB simply is not pulled from RLC).
-    /// With `Some`, failed blocks are retransmitted after the HARQ RTT
-    /// with chase-combining gain and dropped after `max_tx` attempts.
-    pub harq: Option<outran_phy::harq::HarqConfig>,
-    /// Root seed.
-    pub seed: u64,
-    /// Scheduled fault timeline (empty = fault-free run).
-    pub faults: FaultPlan,
-    /// Invariant-auditor cadence and retention.
-    pub audit: AuditConfig,
-    /// Stalled-flow watchdog: force a TCP timeout after this long with
-    /// no cumulative-ACK progress on a started flow (`None` disables).
-    pub watchdog: Option<Dur>,
-    /// Per-UE PDCP flow-table admission cap (`None` = unbounded); when
-    /// full, the least-recently-seen entry is evicted to admit new flows.
-    pub max_flow_entries: Option<usize>,
-}
-
-impl CellConfig {
-    /// The paper's main LTE setting (§3/§6.2) for a given scheduler.
-    pub fn lte_default(n_ues: usize, scheduler: SchedulerKind, seed: u64) -> CellConfig {
-        CellConfig {
-            channel: ChannelConfig::lte_default(),
-            n_ues,
-            scheduler,
-            tf: Dur::from_millis(1000),
-            outran: OutRanConfig::default(),
-            rlc_mode: RlcMode::Um,
-            buffer_sdus: 128,
-            cn_delay: Dur::from_millis(10),
-            ul_air_delay: Dur::from_millis(4),
-            tcp: TcpConfig::default(),
-            residual_loss: 0.002,
-            srjf_mode: outran_mac::srjf::SrjfMode::Waterfall,
-            harq: None,
-            seed,
-            faults: FaultPlan::new(),
-            audit: AuditConfig::default(),
-            watchdog: None,
-            max_flow_entries: None,
-        }
-    }
-}
-
-/// A dedicated-bearer (GBR) traffic source — the Conversational class of
-/// Table 1, served by semi-persistent grants outside the dynamic
-/// scheduler (how VoLTE is carried in practice). OutRAN never touches
-/// this traffic: it targets only the default best-effort bearer.
-#[derive(Debug, Clone, Copy)]
-pub struct GbrBearer {
-    /// Destination UE.
-    pub ue: usize,
-    /// Packet payload size in bytes (VoLTE AMR frame bundles ~35 B).
-    pub pkt_bytes: u32,
-    /// Packet generation interval (VoLTE: 20 ms).
-    pub interval: Dur,
-}
-
-impl GbrBearer {
-    /// A VoLTE-like bearer at the Table 1 GBR of 14 kbps.
-    pub fn volte(ue: usize) -> GbrBearer {
-        GbrBearer {
-            ue,
-            pkt_bytes: 35,
-            interval: Dur::from_millis(20),
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-struct GbrRuntime {
-    bearer: GbrBearer,
-    next_gen: Time,
-    queue: std::collections::VecDeque<(Time, u32)>,
-}
-
-/// A completed flow record.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct FlowDone {
-    /// Flow index (as returned by [`Cell::schedule_flow`]).
-    pub id: usize,
-    /// Destination UE.
-    pub ue: usize,
-    /// Flow size in bytes.
-    pub bytes: u64,
-    /// When the flow started at the server.
-    pub spawn: Time,
-    /// Flow completion time.
-    pub fct: Dur,
-}
-
-enum Ev {
-    Arrival { flow: usize },
-    PktAtEnb { flow: usize, seq: u64, len: u32 },
-    AckAtServer { flow: usize, cum: u64 },
-    StatusAtEnb { ue: usize, status: StatusPdu },
-}
-
-struct FlowRt {
-    ue: usize,
-    size: u64,
-    spawn: Time,
-    tuple: FiveTuple,
-    sender: TcpSender,
-    receiver: TcpReceiver,
-    started: bool,
-    done: bool,
-    /// Watchdog state: highest cumulative ACK seen, and when it moved.
-    last_cum: u64,
-    last_progress: Time,
-}
-
-enum RlcTx {
-    Um(UmTx),
-    Am(AmTx),
-}
-
-enum RlcRx {
-    Um(UmRx),
-    Am(AmRx),
-}
-
-/// What a HARQ transport block carries in this cell. The ledger byte
-/// count is cached at construction so the hot path never re-walks the
-/// segment list (AM PDUs are ledger-exempt: AM runs without
-/// conservation auditing).
-struct HarqPayload {
-    bytes: u64,
-    data: HarqData,
-}
-
-enum HarqData {
-    Um(Vec<outran_rlc::sdu::RlcSegment>),
-    Am(Vec<outran_rlc::am::AmPdu>),
-}
-
-impl HarqPayload {
-    fn um(segs: Vec<outran_rlc::sdu::RlcSegment>) -> HarqPayload {
-        let bytes = segs.iter().map(|s| s.len as u64).sum();
-        HarqPayload {
-            bytes,
-            data: HarqData::Um(segs),
-        }
-    }
-
-    fn am(pdus: Vec<outran_rlc::am::AmPdu>) -> HarqPayload {
-        HarqPayload {
-            bytes: 0,
-            data: HarqData::Am(pdus),
-        }
-    }
-}
-
-/// Per-TTI rate matrix adapter (subband-granular) for the scheduler.
-/// Reused across TTIs: [`Cell::refresh_rates`] rewrites only the rows
-/// whose content version moved.
-#[derive(Default)]
-struct TtiRates {
-    per_ue_sb: Vec<f64>,
-    rb_to_sb: Vec<usize>,
-    n_sb: usize,
-    n_ues: usize,
-    /// RBs pre-empted by semi-persistent GBR grants this TTI: they read
-    /// as rate 0 to the dynamic scheduler, so every scheduler kind
-    /// respects the reservation without trait changes.
-    reserved: Vec<bool>,
-    /// Per-UE content version of the `per_ue_sb` row: the delivered CQI
-    /// report version doubled, plus one while the UE's link is down (a
-    /// zeroed row never aliases a live one). Schedulers key their metric
-    /// caches on this.
-    versions: Vec<u64>,
-}
-
-impl RateSource for TtiRates {
-    fn rate(&self, ue: usize, rb: u16) -> f64 {
-        if self.reserved[rb as usize] {
-            return 0.0;
-        }
-        self.per_ue_sb[ue * self.n_sb + self.rb_to_sb[rb as usize]]
-    }
-    fn n_rbs(&self) -> u16 {
-        self.rb_to_sb.len() as u16
-    }
-    fn n_ues(&self) -> usize {
-        self.n_ues
-    }
-    fn n_subbands(&self) -> usize {
-        self.n_sb
-    }
-    fn subband_of(&self, rb: u16) -> usize {
-        self.rb_to_sb[rb as usize]
-    }
-    fn rate_in_subband(&self, ue: usize, sb: usize) -> f64 {
-        self.per_ue_sb[ue * self.n_sb + sb]
-    }
-    fn rb_reserved(&self, rb: u16) -> bool {
-        self.reserved[rb as usize]
-    }
-    fn rates_version(&self, ue: usize) -> Option<u64> {
-        Some(self.versions[ue])
-    }
-}
-
-/// Reusable per-TTI buffers: [`Cell::step`] rotates through these
-/// instead of allocating fresh vectors every tick.
-#[derive(Default)]
-struct StepScratch {
-    rates: TtiRates,
-    ues: Vec<UeTti>,
-    had_data: Vec<bool>,
-    group_bits: Vec<f64>,
-    transmitted: Vec<f64>,
-    delivered: Vec<f64>,
-    segs: Vec<outran_rlc::sdu::RlcSegment>,
-}
-
-/// The single-cell simulator.
+/// The single-cell simulator: the orchestrator of the staged pipeline.
 pub struct Cell {
     cfg: CellConfig,
     now: Time,
     tti: Dur,
-    channel: CellChannel,
-    scheduler: Box<dyn Scheduler + Send>,
-    events: EventQueue<Ev>,
-    flows: Vec<FlowRt>,
-    flows_by_ue: Vec<Vec<usize>>,
-    flow_tables: Vec<FlowTable>,
-    rlc_tx: Vec<RlcTx>,
-    rlc_rx: Vec<RlcRx>,
-    reset: Option<PriorityReset>,
-    harq: Vec<outran_phy::harq::HarqQueue<HarqPayload>>,
-    gbr: Vec<GbrRuntime>,
+    /// Per-UE contexts shared across stages (flow table, RLC, HARQ).
+    ues: Vec<UeContext>,
+    ingress: IngressStage,
+    rlc_down: RlcDownStage,
+    mac: MacSchedStage,
+    phy: PhyTxStage,
+    delivery: DeliveryStage,
+    hk: HousekeepingStage,
+    /// Optional structural pipeline observer (see [`crate::stages`]).
+    observer: ObserverHost,
     /// One-way air latency of delivered GBR packets (ms).
     pub gbr_latency: outran_simcore::Percentiles,
-    next_sdu_id: u64,
-    rng: Rng,
     /// FCT statistics.
     pub fct: FctCollector,
     /// Cell-level telemetry.
     pub metrics: CellMetrics,
-    completions: Vec<FlowDone>,
-    /// Diagnostics: SDUs dropped at full RLC buffers.
-    pub buffer_drops: u64,
-    /// Diagnostics: transport blocks wasted by (HARQ-recovered) errors.
-    pub harq_wasted_tbs: u64,
-    /// Diagnostics: residual-loss events.
-    pub residual_losses: u64,
     /// TTIs in which the cell had no work to do. Idle TTIs run O(1)
     /// accounting and draw no randomness in *both* stepping modes (see
     /// DESIGN.md "Virtual-time skipping").
@@ -405,198 +64,36 @@ pub struct Cell {
     /// being stepped individually (event-driven mode only; always 0
     /// under [`Cell::run_until_dense`]).
     pub skipped_ttis: u64,
-    last_gc: Time,
-    /// Fault snapshot of the previous TTI (edge detection).
-    faults_active: ActiveFaults,
-    /// Dedicated RNG for fault draws, so injecting faults never perturbs
-    /// the main simulation stream.
-    fault_rng: Rng,
-    fault_counters: FaultStats,
-    auditor: InvariantAuditor,
-    /// Whether delivered-SDU ordering is a valid invariant for this
-    /// configuration (explicit HARQ, priority reset and the SRJF oracle
-    /// all legitimately reorder intra-flow delivery).
-    audit_order: bool,
-    // Byte-conservation ledger terms (exact in UM mode; AM
-    // retransmissions would double-count, so the auditor skips it).
-    injected_bytes: u64,
-    delivered_bytes: u64,
-    dropped_bytes: u64,
-    cn_in_flight_bytes: u64,
-    harq_held_bytes: u64,
-    scratch: StepScratch,
-    /// Started-but-incomplete flows — the O(1) core of the idle test.
-    open_flows: u64,
-    /// Cached next fault-window edge at or after `now` (`None` when the
-    /// plan holds no further edges); refreshed only when crossed.
-    next_fault_edge: Option<Time>,
     /// Idle TTIs accrued since the last active one, not yet folded into
     /// the scheduler's averages (applied as one composed `on_idle` at
     /// the next active TTI — identically in both stepping modes).
     pending_idle: u64,
-    /// Per-layer wall-time attribution, when enabled.
-    profile: Option<StepProfile>,
-}
-
-/// Cumulative per-layer wall-time attribution of the active-TTI pipeline
-/// (opt-in via [`Cell::enable_profiling`]; all figures in nanoseconds,
-/// measured with `std::time::Instant`).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StepProfile {
-    /// Fault-plan flattening and window-edge transitions.
-    pub faults_ns: u64,
-    /// Event queue drain, TCP endpoints, RTO and watchdog scans.
-    pub transport_ns: u64,
-    /// Channel evolution: fading, mobility, CQI reporting.
-    pub phy_ns: u64,
-    /// Rate matrix refresh, GBR carve-out and MAC scheduling.
-    pub mac_ns: u64,
-    /// RLC pulls, HARQ/air-interface draws, delivery and housekeeping.
-    pub rlc_ns: u64,
-}
-
-impl StepProfile {
-    /// Total attributed time across all layers, in nanoseconds.
-    pub fn total_ns(&self) -> u64 {
-        self.faults_ns + self.transport_ns + self.phy_ns + self.mac_ns + self.rlc_ns
-    }
 }
 
 impl Cell {
     /// Build a cell from its configuration.
     pub fn new(cfg: CellConfig) -> Cell {
         let root = Rng::new(cfg.seed);
-        let channel = CellChannel::new(cfg.channel, cfg.n_ues, &root);
         let tti = cfg.channel.radio.tti();
-        let scheduler = Self::build_scheduler(&cfg, tti);
-        // One shared MLFQ config for every per-UE flow table (the config
-        // is identical across UEs; cloning it N times wasted memory).
-        let mlfq = std::sync::Arc::new(if cfg.scheduler.uses_mlfq() {
-            cfg.outran.resolve_mlfq()
-        } else {
-            MlfqConfig::default()
-        });
-        let mut flow_tables: Vec<FlowTable> = (0..cfg.n_ues)
-            .map(|_| FlowTable::shared(mlfq.clone()))
-            .collect();
-        if let Some(cap) = cfg.max_flow_entries {
-            for ft in &mut flow_tables {
-                ft.set_max_entries(Some(cap));
-            }
-        }
-        let levels = if cfg.scheduler.uses_mlfq() {
-            cfg.outran.mlfq_queues
-        } else if cfg.scheduler.uses_oracle_priority() {
-            16 // fine-grained remaining-size levels for the SRJF oracle
-        } else {
-            1 // legacy FIFO
-        };
-        let rlc_tx: Vec<RlcTx> = (0..cfg.n_ues)
-            .map(|_| match cfg.rlc_mode {
-                RlcMode::Um => RlcTx::Um(UmTx::new(UmConfig {
-                    mlfq_levels: levels,
-                    capacity_sdus: cfg.buffer_sdus,
-                    header_bytes: cfg.outran.header_bytes,
-                    reassembly_window: cfg.outran.reassembly_window,
-                    promote_segments: cfg.outran.promote_segments,
-                    pushout: cfg.outran.pushout,
-                })),
-                RlcMode::Am => RlcTx::Am(AmTx::new(AmConfig {
-                    mlfq_levels: levels,
-                    capacity_sdus: cfg.buffer_sdus,
-                    header_bytes: cfg.outran.header_bytes.max(5),
-                    promote_segments: cfg.outran.promote_segments,
-                    pushout: cfg.outran.pushout,
-                    ..AmConfig::default()
-                })),
-            })
-            .collect();
-        let rlc_rx: Vec<RlcRx> = (0..cfg.n_ues)
-            .map(|_| match cfg.rlc_mode {
-                RlcMode::Um => RlcRx::Um(UmRx::new(cfg.outran.reassembly_window)),
-                RlcMode::Am => RlcRx::Am(AmRx::new(AmConfig::default())),
-            })
-            .collect();
         let bandwidth_hz = cfg.channel.radio.bandwidth_khz as f64 * 1e3;
-        let metrics = CellMetrics::new(bandwidth_hz, cfg.n_ues, tti, 50, cfg.tf);
-        let reset = cfg.outran.priority_reset(Time::ZERO);
-        let audit_order =
-            cfg.harq.is_none() && reset.is_none() && !cfg.scheduler.uses_oracle_priority();
         Cell {
-            rng: root.fork(0xCE11),
-            fault_rng: root.fork(0xFA17),
-            faults_active: ActiveFaults::default(),
-            fault_counters: FaultStats::default(),
-            auditor: InvariantAuditor::new(cfg.audit),
-            audit_order,
-            injected_bytes: 0,
-            delivered_bytes: 0,
-            dropped_bytes: 0,
-            cn_in_flight_bytes: 0,
-            harq_held_bytes: 0,
             now: Time::ZERO,
             tti,
-            channel,
-            scheduler,
-            events: EventQueue::new(),
-            flows: Vec::new(),
-            flows_by_ue: vec![Vec::new(); cfg.n_ues],
-            flow_tables,
-            rlc_tx,
-            rlc_rx,
-            reset,
-            harq: (0..cfg.n_ues)
-                .map(|_| outran_phy::harq::HarqQueue::new(cfg.harq.unwrap_or_default()))
-                .collect(),
-            gbr: Vec::new(),
+            ues: UeContext::build_all(&cfg),
+            ingress: IngressStage::new(),
+            rlc_down: RlcDownStage::new(&cfg),
+            mac: MacSchedStage::new(&cfg, tti),
+            phy: PhyTxStage::new(&cfg, &root),
+            delivery: DeliveryStage::new(),
+            hk: HousekeepingStage::new(&cfg, &root),
+            observer: ObserverHost::default(),
             gbr_latency: outran_simcore::Percentiles::new(),
-            next_sdu_id: 0,
             fct: FctCollector::new(),
-            metrics,
-            completions: Vec::new(),
-            buffer_drops: 0,
-            harq_wasted_tbs: 0,
-            residual_losses: 0,
+            metrics: CellMetrics::new(bandwidth_hz, cfg.n_ues, tti, 50, cfg.tf),
             idle_ttis: 0,
             skipped_ttis: 0,
-            last_gc: Time::ZERO,
-            scratch: StepScratch::default(),
-            open_flows: 0,
-            // `Some(ZERO)` forces the first active TTI to flatten the
-            // plan (a window may start at t = 0) and cache the real edge.
-            next_fault_edge: if cfg.faults.is_empty() {
-                None
-            } else {
-                Some(Time::ZERO)
-            },
             pending_idle: 0,
-            profile: None,
             cfg,
-        }
-    }
-
-    fn build_scheduler(cfg: &CellConfig, tti: Dur) -> Box<dyn Scheduler + Send> {
-        let n = cfg.n_ues;
-        match cfg.scheduler {
-            SchedulerKind::Pf => Box::new(PfScheduler::with_tf(n, cfg.tf, tti)),
-            SchedulerKind::Mt => Box::new(MtScheduler),
-            SchedulerKind::Rr => Box::new(RrScheduler::default()),
-            SchedulerKind::Bet => Box::new(outran_mac::BetScheduler::new(n, cfg.tf, tti)),
-            SchedulerKind::Mlwdf => {
-                Box::new(outran_mac::MlwdfScheduler::with_defaults(n, cfg.tf, tti))
-            }
-            SchedulerKind::Srjf => Box::new(SrjfScheduler::with_mode(cfg.srjf_mode)),
-            SchedulerKind::Pss => Box::new(PssScheduler::new(n, cfg.tf, tti)),
-            SchedulerKind::Cqa => Box::new(CqaScheduler::new(n, cfg.tf, tti, QosParams::default())),
-            SchedulerKind::OutRan => Box::new(OutRanScheduler::over_pf(
-                n,
-                cfg.tf,
-                tti,
-                OutRanScheduler::DEFAULT_EPSILON,
-            )),
-            SchedulerKind::OutRanEps(e) => Box::new(OutRanScheduler::over_pf(n, cfg.tf, tti, e)),
-            SchedulerKind::OutRanOverMt(e) => Box::new(OutRanScheduler::over_mt(e)),
-            SchedulerKind::StrictMlfq => Box::new(OutRanScheduler::over_pf(n, cfg.tf, tti, 1.0)),
         }
     }
 
@@ -621,30 +118,8 @@ impl Cell {
     pub fn schedule_flow(&mut self, at: Time, ue: usize, bytes: u64, conn: Option<u64>) -> usize {
         assert!(ue < self.cfg.n_ues);
         assert!(bytes > 0);
-        let id = self.flows.len();
-        let tuple = match conn {
-            Some(c) => FiveTuple::simulated(c, ue as u16),
-            None => FiveTuple::simulated(1_000_000 + id as u64, ue as u16),
-        };
-        // The connection handshake already sampled one wired+air RTT.
-        let handshake_rtt = Dur(2
-            * (self.cfg.cn_delay.as_nanos() + self.cfg.ul_air_delay.as_nanos())
-            + self.tti.as_nanos() * 4);
-        self.flows.push(FlowRt {
-            ue,
-            size: bytes,
-            spawn: at,
-            tuple,
-            sender: TcpSender::with_initial_rtt(self.cfg.tcp, bytes, handshake_rtt),
-            receiver: TcpReceiver::new(bytes),
-            started: false,
-            done: false,
-            last_cum: 0,
-            last_progress: at,
-        });
-        self.events
-            .schedule(at.max(self.now), Ev::Arrival { flow: id });
-        id
+        self.ingress
+            .schedule_flow(self.now, self.tti, &self.cfg, at, ue, bytes, conn)
     }
 
     /// Attach a dedicated GBR bearer (semi-persistent grants, outside
@@ -652,19 +127,12 @@ impl Cell {
     pub fn add_gbr_bearer(&mut self, bearer: GbrBearer) {
         assert!(bearer.ue < self.cfg.n_ues);
         assert!(bearer.pkt_bytes > 0 && bearer.interval > Dur::ZERO);
-        // Stagger the vocoder phase per bearer so packet generation is
-        // not TTI-aligned (real talk spurts aren't).
-        let phase = Dur::from_micros((self.gbr.len() as u64 * 7_301) % bearer.interval.as_micros());
-        self.gbr.push(GbrRuntime {
-            bearer,
-            next_gen: self.now + bearer.interval + phase,
-            queue: std::collections::VecDeque::new(),
-        });
+        self.mac.add_gbr_bearer(self.now, bearer);
     }
 
     /// Drain completed-flow records accumulated since the last call.
     pub fn take_completions(&mut self) -> Vec<FlowDone> {
-        std::mem::take(&mut self.completions)
+        self.delivery.take_completions()
     }
 
     /// Advance the simulation until `t`, event-driven: dense per-TTI
@@ -699,7 +167,7 @@ impl Cell {
     /// Advance one TTI. An idle TTI — no due event, no queued or
     /// in-flight data anywhere, no GBR grant or fault edge due — does
     /// O(1) accounting and draws no randomness; an active TTI runs the
-    /// full pipeline. Dense and event-driven runs share this entry
+    /// full stage pipeline. Dense and event-driven runs share this entry
     /// point, so they execute identical work at identical instants.
     pub fn step(&mut self) {
         self.now += self.tti;
@@ -714,52 +182,26 @@ impl Cell {
     /// the end of the current TTI. `false` certifies that the full
     /// pipeline would be a no-op apart from O(1) accounting.
     fn has_work_at(&self, now: Time) -> bool {
-        if self.open_flows > 0 {
+        if self.ingress.open_flows() > 0 {
             // A started flow owns in-flight packets, queued data or a
             // pending RTO; conservatively treat it as work every TTI so
             // the RTO/watchdog scans run exactly as in dense stepping.
             return true;
         }
-        if let Some(t) = self.events.peek_time() {
+        if let Some(t) = self.ingress.peek_event_time() {
             if t <= now {
                 return true;
             }
         }
-        if let Some(e) = self.next_fault_edge {
+        if let Some(e) = self.hk.next_fault_edge() {
             if e <= now {
                 return true;
             }
         }
-        if self
-            .gbr
-            .iter()
-            .any(|g| g.next_gen <= now || !g.queue.is_empty())
-        {
+        if self.mac.gbr_has_work(now) {
             return true;
         }
-        for ue in 0..self.cfg.n_ues {
-            if !self.harq[ue].is_empty() {
-                return true;
-            }
-            match &self.rlc_tx[ue] {
-                RlcTx::Um(um) => {
-                    if !um.is_empty() {
-                        return true;
-                    }
-                }
-                RlcTx::Am(am) => {
-                    if !am.is_quiescent() {
-                        return true;
-                    }
-                }
-            }
-            if let RlcRx::Um(um) = &self.rlc_rx[ue] {
-                if um.pending() > 0 {
-                    return true;
-                }
-            }
-        }
-        false
+        self.ues.iter().any(|ctx| ctx.has_radio_work())
     }
 
     /// Earliest instant at which the cell may next have work to do.
@@ -778,13 +220,13 @@ impl Cell {
             return self.now;
         }
         let mut next = Time(u64::MAX);
-        if let Some(t) = self.events.peek_time() {
+        if let Some(t) = self.ingress.peek_event_time() {
             next = next.min(t);
         }
-        for g in &self.gbr {
-            next = next.min(g.next_gen);
+        if let Some(t) = self.mac.next_gbr_gen() {
+            next = next.min(t);
         }
-        if let Some(e) = self.next_fault_edge {
+        if let Some(e) = self.hk.next_fault_edge() {
             next = next.min(e);
         }
         next
@@ -818,27 +260,32 @@ impl Cell {
         self.idle_ttis += k;
         self.pending_idle += k;
         self.metrics.note_idle_ttis(k);
-        if let Some(reset) = &mut self.reset {
-            if reset.catch_up(self.now) > 0 {
-                for ft in &mut self.flow_tables {
-                    ft.reset_priorities();
-                }
-            }
-        }
+        self.hk.idle_reset_catch_up(self.now, &mut self.ues);
     }
 
-    /// Start attributing active-TTI wall time per layer (see
-    /// [`StepProfile`]); adds a few `Instant` reads per active TTI.
+    /// Start attributing active-TTI wall time per stage (see
+    /// [`StepProfile`]); installs a [`crate::stages::StageTimer`] as the
+    /// pipeline observer, adding a few `Instant` reads per active TTI.
     pub fn enable_profiling(&mut self) {
-        self.profile = Some(StepProfile::default());
+        self.observer.install_timer();
     }
 
-    /// Accumulated per-layer timings, if profiling was enabled.
+    /// Accumulated per-stage timings, if profiling was enabled.
     pub fn profile(&self) -> Option<&StepProfile> {
-        self.profile.as_ref()
+        self.observer.profile()
     }
 
-    /// The full per-TTI pipeline (runs only on TTIs that have work).
+    /// Attach a structural pipeline observer (replacing any previous
+    /// one, including the profiling timer). The observer sees every
+    /// stage bracket and an end-of-TTI [`TtiSummary`] on active TTIs —
+    /// see [`crate::stages`].
+    pub fn set_stage_observer(&mut self, obs: Box<dyn StageObserver + Send>) {
+        self.observer.install(obs);
+    }
+
+    /// The full per-TTI pipeline (runs only on TTIs that have work):
+    /// housekeeping (fault edges) → ingress → PHY (channel) → MAC →
+    /// PHY (transmit) → delivery → housekeeping (timers, audit).
     fn active_step(&mut self) {
         let now = self.now;
         // Fold the idle span since the last active TTI into the
@@ -848,824 +295,162 @@ impl Cell {
         if self.pending_idle > 0 {
             let k = self.pending_idle;
             self.pending_idle = 0;
-            self.scheduler.on_idle(k);
+            self.mac.fold_idle(k);
         }
-        self.auditor.observe_clock(now);
-        let mut lap = self
-            .profile
-            .is_some()
-            // outran-lint: allow(d1) -- opt-in `--profile` wall-time instrumentation; never feeds simulation state
-            .then(|| (std::time::Instant::now(), [0u64; 5]));
-        fn mark(lap: &mut Option<(std::time::Instant, [u64; 5])>, slot: usize) {
-            if let Some((last, acc)) = lap {
-                // outran-lint: allow(d1) -- profiling lap timer, measurement only
-                let t = std::time::Instant::now();
-                acc[slot] += t.duration_since(*last).as_nanos() as u64;
-                *last = t;
-            }
-        }
+        self.hk.observe_clock(now);
 
-        // 0. Fault engine: flatten the plan at `now` and apply window
+        // Fault engine: flatten the plan at `now` and apply window
         // edges (flush on RLF/detach entry, capacity clamps, …).
-        if !self.cfg.faults.is_empty() || !self.faults_active.is_quiet() {
-            let active = self.cfg.faults.active_at(now);
-            self.apply_fault_transitions(active);
-            // Refresh the cached edge only when we crossed it: between
-            // edges the snapshot is constant and idle spans may skip.
-            if self.next_fault_edge.is_some_and(|e| e <= now) {
-                self.next_fault_edge = self.cfg.faults.next_edge_after(now);
-            }
-        }
-        mark(&mut lap, 0);
+        self.observer.enter(StageId::Housekeeping);
+        self.hk
+            .apply_fault_edges(now, &self.cfg, &mut self.ues, &mut self.phy);
+        self.observer.exit(StageId::Housekeeping);
 
-        // 1. Event processing (arrivals, packets, ACKs, STATUS). The CN
-        // link faults act here: an outage drops every traversing packet,
-        // a degrade window loses them with probability `cn_loss`.
-        while let Some((_, ev)) = self.events.pop_due(now) {
-            match ev {
-                Ev::Arrival { flow } => {
-                    self.flows[flow].started = true;
-                    self.open_flows += 1;
-                    self.server_emit(flow);
-                }
-                Ev::PktAtEnb { flow, seq, len } => {
-                    self.cn_in_flight_bytes -= len as u64;
-                    if self.cn_link_loses_packet() {
-                        self.dropped_bytes += len as u64;
-                        self.fault_counters.cn_dropped_pkts += 1;
-                        self.fault_counters.cn_dropped_bytes += len as u64;
-                    } else {
-                        self.on_pkt_at_enb(flow, seq, len);
-                    }
-                }
-                Ev::AckAtServer { flow, cum } => {
-                    if self.cn_link_loses_packet() {
-                        self.fault_counters.cn_dropped_pkts += 1;
-                    } else {
-                        let f = &mut self.flows[flow];
-                        f.sender.on_ack(now, cum);
-                        self.server_emit(flow);
-                    }
-                }
-                Ev::StatusAtEnb { ue, status } => {
-                    if let RlcTx::Am(am) = &mut self.rlc_tx[ue] {
-                        am.on_status(&status);
-                    }
-                }
-            }
-        }
+        // Ingress: event drain (arrivals, packets, ACKs, STATUS), RTO
+        // scan, stalled-flow watchdog. Packets reaching the xNodeB
+        // cross into the RLC-down stage.
+        self.observer.enter(StageId::Ingress);
+        self.ingress.run(
+            now,
+            &self.cfg,
+            &mut self.ues,
+            &mut self.rlc_down,
+            &mut self.hk,
+            &mut self.observer,
+        );
+        self.observer.exit(StageId::Ingress);
 
-        // 2. RTO scan.
-        for flow in 0..self.flows.len() {
-            let f = &self.flows[flow];
-            if f.done || !f.started {
-                continue;
-            }
-            if let Some(deadline) = f.sender.rto_deadline() {
-                if deadline <= now {
-                    self.flows[flow].sender.on_rto(now);
-                    self.server_emit(flow);
-                }
-            }
-        }
+        // Channel evolution (CQI staleness/corruption pushed first).
+        self.observer.enter(StageId::PhyTx);
+        self.phy
+            .advance_channel(now, self.cfg.n_ues, self.hk.faults());
+        self.observer.exit(StageId::PhyTx);
 
-        // 2b. Stalled-flow watchdog: a started flow whose cumulative ACK
-        // has not moved for the configured interval gets a forced TCP
-        // timeout (go-back-N refill) — the recovery of last resort when
-        // every in-flight copy of a segment was lost to faults.
-        if let Some(stall) = self.cfg.watchdog {
-            for flow in 0..self.flows.len() {
-                let kick = {
-                    let f = &mut self.flows[flow];
-                    if f.done || !f.started {
-                        continue;
-                    }
-                    let cum = f.receiver.cum();
-                    if cum > f.last_cum {
-                        f.last_cum = cum;
-                        f.last_progress = now;
-                        false
-                    } else {
-                        now.saturating_since(f.last_progress) >= stall
-                    }
-                };
-                if kick && self.faults_active.link_up(self.flows[flow].ue) {
-                    self.flows[flow].last_progress = now;
-                    self.flows[flow].sender.on_rto(now);
-                    self.fault_counters.watchdog_kicks += 1;
-                    self.server_emit(flow);
-                }
-            }
-        }
-        mark(&mut lap, 1);
+        // Scheduler inputs — semi-persistent GBR grants are carved out
+        // first, so the dynamic scheduler only sees the leftover RBs —
+        // then RB allocation.
+        self.observer.enter(StageId::MacSched);
+        self.mac
+            .refresh_rates(&self.cfg, self.phy.channel(), self.hk.faults());
+        self.mac.serve_gbr(now, self.tti, &mut self.gbr_latency);
+        self.mac.build_ue_inputs(
+            now,
+            &self.cfg,
+            &self.ingress,
+            self.hk.faults(),
+            &mut self.ues,
+        );
+        let (alloc, used_rbs, total_rbs) = self.mac.allocate(now);
+        self.hk.observe_rbs(now, used_rbs, total_rbs);
+        self.observer.exit(StageId::MacSched);
 
-        // 3. Channel evolution (CQI staleness/corruption pushed first).
-        // `advance_to` composes any idle gap since the previous active
-        // TTI into one distribution-preserving jump; with no gap it is
-        // the plain per-TTI advance.
-        for ue in 0..self.cfg.n_ues {
-            self.channel
-                .set_cqi_frozen(ue, self.faults_active.cqi_frozen(ue));
-            self.channel
-                .set_cqi_corrupt(ue, self.faults_active.cqi_corrupted(ue));
-        }
-        self.channel.advance_to(now);
-        mark(&mut lap, 2);
+        // Transmission: per-(UE, subband) transport-block groups, HARQ
+        // and residual-error draws; survivors become the ordered
+        // delivery batch.
+        self.observer.enter(StageId::PhyTx);
+        self.phy.transmit(
+            now,
+            self.tti,
+            &self.cfg,
+            &alloc,
+            self.mac.rates(),
+            &mut self.ues,
+            &mut self.hk,
+            &mut self.observer,
+        );
+        self.observer.exit(StageId::PhyTx);
 
-        // 4. Scheduler inputs — semi-persistent GBR grants are carved
-        // out first, so the dynamic scheduler only sees the leftover RBs.
-        // UEs in radio-link failure or detached read as rate 0 everywhere
-        // (folded into the per-UE row version, so a live row is rebuilt
-        // only when a new CQI report lands).
-        let mut rates = std::mem::take(&mut self.scratch.rates);
-        self.refresh_rates(&mut rates);
-        self.serve_gbr(&mut rates);
-        let mut ues = std::mem::take(&mut self.scratch.ues);
-        self.build_ue_inputs_into(&mut ues);
+        // Delivery: replay the batch into the UE stacks (reassembly,
+        // TCP receive, completion recording).
+        self.observer.enter(StageId::Delivery);
+        let mut batch = self.phy.take_deliveries();
+        self.delivery.run(
+            now,
+            &self.cfg,
+            &mut batch,
+            &mut self.ues,
+            &mut self.ingress,
+            &mut self.hk,
+            &mut self.fct,
+            &mut self.metrics,
+        );
+        self.phy.restore_deliveries(batch);
+        self.observer.exit(StageId::Delivery);
 
-        // 5. RB allocation.
-        let alloc = self.scheduler.allocate(now, &ues, &rates);
-        let used_rbs = alloc.rb_to_ue.iter().filter(|a| a.is_some()).count()
-            + rates.reserved.iter().filter(|&&r| r).count();
-        self.auditor
-            .observe_rbs(now, used_rbs as u32, rates.rb_to_sb.len() as u32);
-        mark(&mut lap, 3);
+        // Scheduler feedback and telemetry.
+        self.observer.enter(StageId::MacSched);
+        self.mac.on_served(self.phy.transmitted());
+        self.observer.exit(StageId::MacSched);
+        self.metrics
+            .on_tti(self.phy.delivered(), self.mac.had_data());
 
-        // 6. Transmission: per-(UE, subband) transport-block groups.
-        let mut had_data = std::mem::take(&mut self.scratch.had_data);
-        had_data.clear();
-        had_data.extend(ues.iter().map(|u| u.active));
-        let mut transmitted = std::mem::take(&mut self.scratch.transmitted);
-        let mut delivered = std::mem::take(&mut self.scratch.delivered);
-        self.transmit(&alloc, &rates, &mut transmitted, &mut delivered);
-        self.scheduler.on_served(&transmitted);
-        self.metrics.on_tti(&delivered, &had_data);
-        self.scratch.rates = rates;
-        self.scratch.ues = ues;
-        self.scratch.had_data = had_data;
-        self.scratch.transmitted = transmitted;
-        self.scratch.delivered = delivered;
-
-        // 7. Housekeeping.
-        self.housekeeping();
-        mark(&mut lap, 4);
-        if let (Some((_, acc)), Some(p)) = (lap, &mut self.profile) {
-            p.faults_ns += acc[0];
-            p.transport_ns += acc[1];
-            p.phy_ns += acc[2];
-            p.mac_ns += acc[3];
-            p.rlc_ns += acc[4];
-        }
-    }
-
-    /// Whether the CN link eats a traversing packet right now (full
-    /// outage, or the degrade-window loss draw).
-    fn cn_link_loses_packet(&mut self) -> bool {
-        if self.faults_active.cn_outage {
-            return true;
-        }
-        self.faults_active.cn_loss > 0.0 && self.fault_rng.chance(self.faults_active.cn_loss)
-    }
-
-    /// Let the server push whatever the flow's window allows.
-    fn server_emit(&mut self, flow: usize) {
-        let now = self.now;
-        let segs = {
-            let f = &mut self.flows[flow];
-            if f.done {
-                return;
-            }
-            f.sender.emit(now)
-        };
-        let delay = self.cfg.cn_delay + self.faults_active.cn_extra_delay;
-        let degraded = self.faults_active.cn_extra_delay > Dur::ZERO;
-        for seg in segs {
-            self.injected_bytes += seg.len as u64;
-            self.cn_in_flight_bytes += seg.len as u64;
-            if degraded {
-                self.fault_counters.cn_delayed_pkts += 1;
-            }
-            self.events.schedule(
-                now + delay,
-                Ev::PktAtEnb {
-                    flow,
-                    seq: seg.seq,
-                    len: seg.len,
-                },
-            );
-        }
-    }
-
-    /// A downlink packet arrives at the xNodeB: PDCP inspection + RLC.
-    fn on_pkt_at_enb(&mut self, flow: usize, seq: u64, len: u32) {
-        let now = self.now;
-        let (ue, tuple, size) = {
-            let f = &self.flows[flow];
-            (f.ue, f.tuple, f.size)
-        };
-        if self.flows[flow].done {
-            // Stale retransmission of a completed flow: terminal for the
-            // byte ledger.
-            self.dropped_bytes += len as u64;
-            return;
-        }
-        // PDCP: header inspection + per-flow state + MLFQ marking (§4.2).
-        // The SRJF oracle overrides the information-agnostic priority
-        // with one quantized from the flow's remaining size.
-        let mut prio = self.flow_tables[ue].observe(tuple, len, now);
-        if self.cfg.scheduler.uses_oracle_priority() {
-            let remaining = size.saturating_sub(seq);
-            prio = srjf_oracle_priority(remaining);
-        }
-        if self.flows_by_ue[ue].iter().all(|&x| x != flow) {
-            self.flows_by_ue[ue].push(flow);
-        }
-        let sdu = RlcSdu {
-            id: self.next_sdu_id,
-            flow_id: flow as u64,
-            tuple,
-            len,
-            offset: 0,
-            priority: prio,
-            arrival: now,
-            seq,
-        };
-        self.next_sdu_id += 1;
-        let res = match &mut self.rlc_tx[ue] {
-            RlcTx::Um(um) => um.write_sdu(sdu),
-            RlcTx::Am(am) => am.write_sdu(sdu),
-        };
-        if let Err(dropped) = res {
-            // Either the incoming SDU (drop-tail) or a worse-priority
-            // victim (push-out) was discarded: TCP sees the loss.
-            self.buffer_drops += 1;
-            self.dropped_bytes += dropped.remaining() as u64;
-        }
-    }
-
-    /// Generate due GBR packets, reserve the RBs their delivery needs
-    /// (lowest indices first — the SPS region), and deliver them with
-    /// one-TTI air latency. GBR traffic rides robust low-MCS grants and
-    /// is modelled loss-free; its latency distribution lands in
-    /// [`Cell::gbr_latency`].
-    fn serve_gbr(&mut self, rates: &mut TtiRates) {
-        if self.gbr.is_empty() {
-            return;
-        }
-        let now = self.now;
-        let mut next_free_rb: usize = 0;
-        let n_rbs = rates.rb_to_sb.len();
-        for g in &mut self.gbr {
-            while g.next_gen <= now {
-                g.queue.push_back((g.next_gen, g.bearer.pkt_bytes));
-                g.next_gen += g.bearer.interval;
-            }
-            while let Some(&(gen_at, bytes)) = g.queue.front() {
-                // Rate of the bearer's UE on the next free RB.
-                if next_free_rb >= n_rbs {
-                    break; // SPS region exhausted this TTI
-                }
-                let sb = rates.rb_to_sb[next_free_rb];
-                let rb_bits = rates.per_ue_sb[g.bearer.ue * rates.n_sb + sb];
-                if rb_bits < 8.0 {
-                    break; // UE out of range; retry next TTI
-                }
-                let rbs_needed = ((bytes as f64 * 8.0) / rb_bits).ceil() as usize;
-                if next_free_rb + rbs_needed > n_rbs {
-                    break;
-                }
-                for rb in next_free_rb..next_free_rb + rbs_needed {
-                    rates.reserved[rb] = true;
-                }
-                next_free_rb += rbs_needed;
-                g.queue.pop_front();
-                // Delivered at the end of this TTI (one slot of air time
-                // plus however long the packet waited for the slot).
-                let delivered = now + self.tti;
-                self.gbr_latency
-                    .push(delivered.saturating_since(gen_at).as_millis_f64());
-            }
-        }
-    }
-
-    /// Bring the reusable rate matrix up to date for this TTI. A UE's
-    /// row is rewritten only when its content version moved: a new CQI
-    /// report was delivered, or the link went down/up (down rows are
-    /// zeros, tagged with an odd version so they never alias live ones).
-    fn refresh_rates(&self, rates: &mut TtiRates) {
-        let n_sb = self.cfg.channel.n_subbands;
-        let n_ues = self.cfg.n_ues;
-        let n_rbs = self.channel.n_rbs() as usize;
-        if rates.n_sb != n_sb || rates.n_ues != n_ues || rates.rb_to_sb.len() != n_rbs {
-            rates.per_ue_sb = vec![0.0; n_ues * n_sb];
-            rates.rb_to_sb = (0..self.channel.n_rbs())
-                .map(|rb| self.channel.subband_of_rb(rb))
-                .collect();
-            rates.n_sb = n_sb;
-            rates.n_ues = n_ues;
-            rates.versions = vec![u64::MAX; n_ues];
-        }
-        rates.reserved.clear();
-        rates.reserved.resize(n_rbs, false);
-        for u in 0..n_ues {
-            let link_up = self.faults_active.link_up(u);
-            let want = self.channel.report_version(u) * 2 + (!link_up) as u64;
-            if rates.versions[u] == want {
-                continue;
-            }
-            rates.versions[u] = want;
-            let row = &mut rates.per_ue_sb[u * n_sb..(u + 1) * n_sb];
-            if link_up {
-                for (sb, r) in row.iter_mut().enumerate() {
-                    *r = self.channel.reported_rate_per_rb_subband(u, sb);
-                }
-            } else {
-                row.fill(0.0);
-            }
-        }
-    }
-
-    fn build_ue_inputs_into(&mut self, out: &mut Vec<UeTti>) {
-        let now = self.now;
-        out.clear();
-        out.reserve(self.cfg.n_ues);
-        for ue in 0..self.cfg.n_ues {
-            // Prune completed flows from the per-UE active list.
-            let flows = &self.flows;
-            self.flows_by_ue[ue].retain(|&fi| !flows[fi].done);
-            // A UE in radio-link failure or detached cannot be scheduled.
-            if !self.faults_active.link_up(ue) {
-                out.push(UeTti::idle());
-                continue;
-            }
-            // O(1) occupancy reads — no BufferStatus materialisation.
-            let (queued, head_priority, hol) = match &self.rlc_tx[ue] {
-                RlcTx::Um(um) => (
-                    um.queued_bytes(),
-                    um.head_priority(),
-                    um.oldest_head_arrival(),
-                ),
-                RlcTx::Am(am) => (
-                    am.pending_bytes(),
-                    am.head_priority(),
-                    am.oldest_head_arrival(),
-                ),
-            };
-            // Pending HARQ retransmissions keep a UE schedulable even
-            // with an empty RLC buffer.
-            let harq_pending = !self.harq[ue].is_empty();
-            if queued == 0 && !harq_pending {
-                out.push(UeTti::idle());
-                continue;
-            }
-            // Oracle inputs for SRJF/PSS/CQA (§6.2 grants them flow sizes).
-            let mut min_remaining: Option<u64> = None;
-            let mut has_qos = false;
-            for &fi in &self.flows_by_ue[ue] {
-                let f = &self.flows[fi];
-                let remaining = f.size.saturating_sub(f.receiver.cum());
-                if remaining == 0 {
-                    continue;
-                }
-                min_remaining = Some(min_remaining.map_or(remaining, |m| m.min(remaining)));
-                if f.size <= 10_000 {
-                    has_qos = true;
-                }
-            }
-            out.push(UeTti {
-                active: true,
-                head_priority,
-                queued_bytes: queued,
-                oracle_min_remaining: min_remaining,
-                hol_delay: hol.map_or(Dur::ZERO, |a| now.saturating_since(a)),
-                oracle_has_qos_flow: has_qos,
-            });
-        }
-    }
-
-    /// Serve the allocation: pull RLC data per (UE, subband) group, draw
-    /// HARQ/residual errors, deliver to the UE stacks.
-    /// Returns (transmitted bits, successfully delivered bits) per UE.
-    ///
-    /// Two air-interface error models are supported:
-    /// * **folded HARQ** (default, `cfg.harq = None`): a failed TB is
-    ///   never pulled from RLC — retransmission happens implicitly when
-    ///   the data is re-served later (wasted airtime, added delay);
-    /// * **explicit HARQ** (`cfg.harq = Some(..)`): failed TBs carry
-    ///   their payload into per-UE HARQ processes, are retransmitted
-    ///   after the HARQ RTT with chase-combining gain, and are dropped
-    ///   to the residual-loss path after `max_tx` attempts. Due
-    ///   retransmissions are served ahead of fresh data.
-    fn transmit(
-        &mut self,
-        alloc: &Allocation,
-        rates: &TtiRates,
-        transmitted: &mut Vec<f64>,
-        delivered: &mut Vec<f64>,
-    ) {
-        let n_ues = self.cfg.n_ues;
-        let n_sb = self.cfg.channel.n_subbands;
-        let mut group_bits = std::mem::take(&mut self.scratch.group_bits);
-        group_bits.clear();
-        group_bits.resize(n_ues * n_sb, 0.0);
-        for (rb, assigned) in alloc.rb_to_ue.iter().enumerate() {
-            if let Some(ue) = assigned {
-                let u = *ue as usize;
-                let sb = rates.rb_to_sb[rb];
-                group_bits[u * n_sb + sb] += rates.per_ue_sb[u * n_sb + sb];
-            }
-        }
-        transmitted.clear();
-        transmitted.resize(n_ues, 0.0);
-        delivered.clear();
-        delivered.resize(n_ues, 0.0);
-        let mut segs = std::mem::take(&mut self.scratch.segs);
-        let now = self.now;
-        let explicit_harq = self.cfg.harq.is_some();
-        // A loss-spike window adds to the configured residual loss.
-        let eff_loss = (self.cfg.residual_loss + self.faults_active.extra_loss).min(1.0);
-        let spiking = self.faults_active.extra_loss > 0.0;
-        for ue in 0..n_ues {
-            if explicit_harq {
-                // Serve due HARQ retransmissions ahead of fresh data,
-                // drawing on the UE's *whole* TTI grant (a retransmitted
-                // TB is not tied to the subband split of this TTI).
-                let mut total: f64 = (0..n_sb).map(|sb| group_bits[ue * n_sb + sb]).sum();
-                while let Some(tb) = self.harq[ue].pop_due(now, total) {
-                    total -= tb.bits;
-                    transmitted[ue] += tb.bits;
-                    // Charge the airtime against the fullest groups.
-                    let mut owed = tb.bits;
-                    while owed > 0.0 {
-                        let Some(max_sb) = (0..n_sb)
-                            .max_by(|&a, &b| {
-                                group_bits[ue * n_sb + a].total_cmp(&group_bits[ue * n_sb + b])
-                            })
-                            .filter(|&sb| group_bits[ue * n_sb + sb] > 0.0)
-                        else {
-                            break;
-                        };
-                        let take = owed.min(group_bits[ue * n_sb + max_sb]);
-                        group_bits[ue * n_sb + max_sb] -= take;
-                        owed -= take;
-                    }
-                    let gain = tb.combining_gain_db(self.harq[ue].config());
-                    // Retransmissions frequency-hop (as LTE HARQ does),
-                    // decorrelating the retry from the fade that killed
-                    // the original transmission.
-                    let sb = (tb.subband + tb.attempts as usize) % n_sb;
-                    let pb = tb.payload.bytes;
-                    if self.channel.transmission_succeeds_with_gain(ue, sb, gain) {
-                        delivered[ue] += tb.bits;
-                        self.harq_held_bytes -= pb;
-                        self.deliver_payload(ue, tb.payload);
-                    } else if self.harq[ue].on_failure(tb, now, self.tti).is_some() {
-                        // Block exhausted its attempts: the payload is
-                        // lost to the upper layers.
-                        self.residual_losses += 1;
-                        self.harq_held_bytes -= pb;
-                        self.dropped_bytes += pb;
-                    }
-                }
-            }
-            for sb in 0..n_sb {
-                let bits = group_bits[ue * n_sb + sb];
-                if bits < 8.0 {
-                    continue;
-                }
-                let budget_bits = bits;
-                // Fresh transmission.
-                let fresh_ok = self.channel.transmission_succeeds(ue, sb);
-                if !explicit_harq && !fresh_ok {
-                    // Folded model: the TB would need retransmission; we
-                    // model it as wasted airtime with the data left queued.
-                    self.harq_wasted_tbs += 1;
-                    continue;
-                }
-                let budget = (budget_bits / 8.0).floor() as u64;
-                match &mut self.rlc_tx[ue] {
-                    RlcTx::Um(um) => {
-                        segs.clear();
-                        let used = um.pull_into(&mut segs, budget);
-                        if segs.is_empty() {
-                            continue;
-                        }
-                        transmitted[ue] += used as f64 * 8.0;
-                        if !fresh_ok {
-                            // Explicit HARQ: the whole TB awaits retx.
-                            self.harq_wasted_tbs += 1;
-                            let payload = HarqPayload::um(std::mem::take(&mut segs));
-                            let pb = payload.bytes;
-                            if self.harq[ue]
-                                .on_failure(
-                                    outran_phy::harq::HarqTb {
-                                        payload,
-                                        bits: used as f64 * 8.0,
-                                        subband: sb,
-                                        attempts: 1,
-                                    },
-                                    now,
-                                    self.tti,
-                                )
-                                .is_some()
-                            {
-                                self.residual_losses += 1;
-                                self.dropped_bytes += pb;
-                            } else {
-                                self.harq_held_bytes += pb;
-                            }
-                            continue;
-                        }
-                        for seg in segs.drain(..) {
-                            // Residual (post-HARQ) loss is per segment:
-                            // isolated holes that fast retransmit can
-                            // repair, not whole-TB burst losses.
-                            if self.rng.chance(eff_loss) {
-                                self.residual_losses += 1;
-                                self.dropped_bytes += seg.len as u64;
-                                if spiking {
-                                    self.fault_counters.spiked_losses += 1;
-                                }
-                                continue;
-                            }
-                            delivered[ue] += seg.len as f64 * 8.0;
-                            self.deliver_um_segment(ue, seg);
-                        }
-                    }
-                    RlcTx::Am(am) => {
-                        let (pdus, _ctrl, used) = am.pull(budget, now);
-                        if used == 0 {
-                            continue;
-                        }
-                        transmitted[ue] += used as f64 * 8.0;
-                        if !fresh_ok {
-                            self.harq_wasted_tbs += 1;
-                            if self.harq[ue]
-                                .on_failure(
-                                    outran_phy::harq::HarqTb {
-                                        payload: HarqPayload::am(pdus),
-                                        bits: used as f64 * 8.0,
-                                        subband: sb,
-                                        attempts: 1,
-                                    },
-                                    now,
-                                    self.tti,
-                                )
-                                .is_some()
-                            {
-                                // AM recovers via NACK once the poll
-                                // machinery notices the gap.
-                                self.residual_losses += 1;
-                            }
-                            continue;
-                        }
-                        if self.rng.chance(eff_loss) {
-                            self.residual_losses += 1;
-                            if spiking {
-                                self.fault_counters.spiked_losses += 1;
-                            }
-                            continue; // PDUs lost; AM will NACK-recover
-                        }
-                        delivered[ue] += used as f64 * 8.0;
-                        self.deliver_am_pdus(ue, pdus);
-                    }
-                }
-            }
-        }
-        self.scratch.group_bits = group_bits;
-        self.scratch.segs = segs;
-    }
-
-    /// Deliver one UM segment into the UE stack (reassembly + TCP).
-    fn deliver_um_segment(&mut self, ue: usize, seg: outran_rlc::sdu::RlcSegment) {
-        let now = self.now;
-        if seg.is_last() {
-            let short = self.flows[seg.flow_id as usize].size <= 10_000;
-            self.metrics
-                .on_queue_delay(now.saturating_since(seg.arrival), short);
-        }
-        let RlcRx::Um(rx) = &mut self.rlc_rx[ue] else {
-            unreachable!("UM tx with AM rx");
-        };
-        if let Some(d) = rx.on_segment(&seg, now) {
-            self.delivered_bytes += d.len as u64;
-            if self.audit_order {
-                self.auditor.observe_delivery(now, ue, d.flow_id, d.sdu_id);
-            }
-            deliver_sdu_um(
-                &mut self.flows,
-                &mut self.events,
-                &mut self.fct,
-                &mut self.completions,
-                &mut self.open_flows,
-                now,
-                self.cfg.cn_delay + self.cfg.ul_air_delay + self.faults_active.cn_extra_delay,
-                d,
-            );
-        }
-    }
-
-    /// Deliver AM PDUs into the UE stack (in-order delivery + STATUS).
-    fn deliver_am_pdus(&mut self, ue: usize, pdus: Vec<outran_rlc::am::AmPdu>) {
-        let now = self.now;
-        for pdu in pdus {
-            if pdu.seg.is_last() {
-                let short = self.flows[pdu.seg.flow_id as usize].size <= 10_000;
-                self.metrics
-                    .on_queue_delay(now.saturating_since(pdu.seg.arrival), short);
-            }
-            let RlcRx::Am(rx) = &mut self.rlc_rx[ue] else {
-                unreachable!("AM tx with UM rx");
-            };
-            let (sdus, status) = rx.on_pdu(pdu, now);
-            for d in sdus {
-                self.delivered_bytes += d.len as u64;
-                if self.audit_order {
-                    self.auditor.observe_delivery(now, ue, d.flow_id, d.sdu_id);
-                }
-                deliver_sdu_um(
-                    &mut self.flows,
-                    &mut self.events,
-                    &mut self.fct,
-                    &mut self.completions,
-                    &mut self.open_flows,
-                    now,
-                    self.cfg.cn_delay + self.cfg.ul_air_delay + self.faults_active.cn_extra_delay,
-                    d,
-                );
-            }
-            if let Some(status) = status {
-                self.events
-                    .schedule(now + self.cfg.ul_air_delay, Ev::StatusAtEnb { ue, status });
-            }
-        }
-    }
-
-    /// Deliver a HARQ-recovered transport block.
-    fn deliver_payload(&mut self, ue: usize, payload: HarqPayload) {
-        match payload.data {
-            HarqData::Um(segs) => {
-                for seg in segs {
-                    self.deliver_um_segment(ue, seg);
-                }
-            }
-            HarqData::Am(pdus) => self.deliver_am_pdus(ue, pdus),
-        }
-    }
-
-    fn housekeeping(&mut self) {
-        let now = self.now;
-        // UM reassembly windows.
-        for rx in &mut self.rlc_rx {
-            if let RlcRx::Um(um) = rx {
-                um.expire(now);
-            }
-        }
-        // AM timers.
-        for tx in &mut self.rlc_tx {
-            if let RlcTx::Am(am) = tx {
-                am.on_tick(now);
-            }
-        }
-        // §6.3 priority reset. `catch_up` (not `due`) so active and
-        // idle paths count crossed periods identically.
-        if let Some(reset) = &mut self.reset {
-            if reset.catch_up(now) > 0 {
-                for ft in &mut self.flow_tables {
-                    ft.reset_priorities();
-                }
-            }
-        }
-        // Flow-table GC once a second.
-        if now.saturating_since(self.last_gc) >= Dur::from_secs(1) {
-            self.last_gc = now;
-            for ft in &mut self.flow_tables {
-                ft.gc(now);
-            }
-        }
-        // Periodic invariant audit.
-        if self.auditor.due() {
+        // Housekeeping: RLC timers, priority reset, flow-table GC and
+        // the periodic invariant audit.
+        self.observer.enter(StageId::Housekeeping);
+        self.hk.timers_and_gc(now, &mut self.ues);
+        if self.hk.audit_due() {
             let snap = self.audit_snapshot();
-            self.auditor.check(now, &snap);
+            self.hk.audit_check(now, &snap);
+        }
+        self.observer.exit(StageId::Housekeeping);
+
+        if self.observer.is_active() {
+            let summary = TtiSummary {
+                used_rbs,
+                total_rbs,
+                delivered_bytes: self.delivery.delivered_bytes(),
+                completed_flows: self.fct.count() as u64,
+            };
+            self.observer.on_tti(now, &summary);
         }
     }
 
-    // ---- fault engine -------------------------------------------------
-
-    /// Diff the new fault snapshot against the previous TTI's and run the
-    /// edge actions: RLC re-establishment on RLF/detach entry, re-attach
-    /// accounting on exit, and RLC capacity clamps for shrink windows.
-    fn apply_fault_transitions(&mut self, active: ActiveFaults) {
-        if active == self.faults_active {
-            return;
-        }
-        let prev = std::mem::replace(&mut self.faults_active, active);
-        for ue in 0..self.cfg.n_ues {
-            let was_down = !prev.link_up(ue);
-            let is_down = !self.faults_active.link_up(ue);
-            if is_down && !was_down {
-                if self.faults_active.in_rlf(ue) {
-                    self.fault_counters.rlf_events += 1;
-                }
-                if self.faults_active.detached(ue) {
-                    self.fault_counters.detach_events += 1;
-                }
-                self.reestablish_ue(ue);
-            } else if was_down && !is_down {
-                self.fault_counters.reattach_events += 1;
-            }
-        }
-        let clamp = |cap: usize| cap.clamp(1, self.cfg.buffer_sdus);
-        let new_cap = self.faults_active.buffer_cap.map(clamp);
-        let old_cap = prev.buffer_cap.map(clamp);
-        if new_cap != old_cap {
-            if new_cap.is_some() && old_cap.is_none() {
-                self.fault_counters.buffer_shrink_events += 1;
-            }
-            let target = new_cap.unwrap_or(self.cfg.buffer_sdus);
-            for ue in 0..self.cfg.n_ues {
-                let (sdus, bytes) = match &mut self.rlc_tx[ue] {
-                    RlcTx::Um(um) => um.set_capacity(target),
-                    RlcTx::Am(am) => am.set_capacity(target),
-                };
-                self.fault_counters.flushed_sdus += sdus;
-                self.fault_counters.flushed_bytes += bytes;
-                self.dropped_bytes += bytes;
-            }
-        }
-    }
-
-    /// RLC re-establishment for one UE (TS 36.322 §5.4): flush both
-    /// entities and the UE's HARQ processes; TCP refills by
-    /// retransmission once the link returns.
-    fn reestablish_ue(&mut self, ue: usize) {
-        let (tx_sdus, tx_bytes) = match &mut self.rlc_tx[ue] {
-            RlcTx::Um(um) => um.reestablish(),
-            RlcTx::Am(am) => am.reestablish(),
-        };
-        let (rx_sdus, rx_bytes) = match &mut self.rlc_rx[ue] {
-            RlcRx::Um(um) => um.reestablish(),
-            RlcRx::Am(am) => am.reestablish(),
-        };
-        // Tx flush bytes are terminal here; rx flush bytes are already
-        // counted by the receiver's own discard ledger.
-        self.dropped_bytes += tx_bytes;
-        for tb in self.harq[ue].clear() {
-            let pb = tb.payload.bytes;
-            self.harq_held_bytes -= pb;
-            self.dropped_bytes += pb;
-        }
-        self.fault_counters.reestablishments += 1;
-        self.fault_counters.flushed_sdus += tx_sdus + rx_sdus;
-        self.fault_counters.flushed_bytes += tx_bytes + rx_bytes;
-        // SDU ids restart from the flush's perspective: drop order state.
-        self.auditor.forget_ue(ue);
-    }
-
-    /// Assemble the full invariant snapshot. The byte ledger is exact in
-    /// UM mode only: AM retransmissions would double-count, so AM runs
-    /// audit queue depths and ordering but skip conservation.
+    /// Assemble the full invariant snapshot from the stages' ledger
+    /// terms. The byte ledger is exact in UM mode only: AM
+    /// retransmissions would double-count, so AM runs audit queue
+    /// depths and ordering but skip conservation.
     fn audit_snapshot(&self) -> AuditSnapshot {
-        let queue_depths = (0..self.cfg.n_ues)
-            .map(|ue| {
-                let depth = match &self.rlc_tx[ue] {
-                    RlcTx::Um(um) => um.len_sdus(),
-                    RlcTx::Am(am) => am.len_sdus(),
-                };
-                (ue, depth)
-            })
+        let queue_depths = self
+            .ues
+            .iter()
+            .enumerate()
+            .map(|(ue, ctx)| (ue, ctx.rlc_tx.len_sdus()))
             .collect();
         let queue_bound = self
-            .rlc_tx
+            .ues
             .iter()
-            .map(|tx| match tx {
-                RlcTx::Um(um) => um.capacity_sdus(),
-                RlcTx::Am(am) => am.capacity_sdus(),
-            })
+            .map(|ctx| ctx.rlc_tx.capacity_sdus())
             .max()
             .unwrap_or(self.cfg.buffer_sdus);
         let bytes = (self.cfg.rlc_mode == RlcMode::Um).then(|| {
             let queued: u64 = self
-                .rlc_tx
+                .ues
                 .iter()
-                .map(|tx| match tx {
+                .map(|ctx| match &ctx.rlc_tx {
                     RlcTx::Um(um) => um.queued_bytes(),
                     RlcTx::Am(_) => 0,
                 })
                 .sum();
             let (held, discarded) = self
-                .rlc_rx
+                .ues
                 .iter()
-                .map(|rx| match rx {
+                .map(|ctx| match &ctx.rlc_rx {
                     RlcRx::Um(um) => (um.held_bytes(), um.discarded_bytes),
                     RlcRx::Am(_) => (0, 0),
                 })
                 .fold((0u64, 0u64), |a, b| (a.0 + b.0, a.1 + b.1));
+            let dropped = self.ingress.dropped_bytes()
+                + self.rlc_down.dropped_bytes()
+                + self.phy.dropped_bytes()
+                + self.hk.dropped_bytes();
             ByteLedger {
-                injected: self.injected_bytes,
-                delivered: self.delivered_bytes,
-                dropped: self.dropped_bytes + discarded,
-                in_flight: self.cn_in_flight_bytes + queued + self.harq_held_bytes + held,
+                injected: self.ingress.injected_bytes(),
+                delivered: self.delivery.delivered_bytes(),
+                dropped: dropped + discarded,
+                in_flight: self.ingress.cn_in_flight_bytes()
+                    + queued
+                    + self.phy.harq_held_bytes()
+                    + held,
             }
         });
         AuditSnapshot {
@@ -1679,23 +464,23 @@ impl Cell {
     /// return the total violation count so far.
     pub fn audit_now(&mut self) -> u64 {
         let snap = self.audit_snapshot();
-        self.auditor.check(self.now, &snap);
-        self.auditor.total_violations()
+        self.hk.audit_check(self.now, &snap);
+        self.hk.auditor().total_violations()
     }
 
     /// Retained invariant violations, in observation order.
     pub fn violations(&self) -> &[Violation] {
-        self.auditor.violations()
+        self.hk.auditor().violations()
     }
 
     /// Total invariant violations observed (including unretained ones).
     pub fn total_violations(&self) -> u64 {
-        self.auditor.total_violations()
+        self.hk.auditor().total_violations()
     }
 
     /// The invariant auditor (checks run, cleanliness, …).
     pub fn auditor(&self) -> &InvariantAuditor {
-        &self.auditor
+        self.hk.auditor()
     }
 
     /// The current byte-conservation ledger (UM mode only).
@@ -1705,438 +490,112 @@ impl Cell {
 
     /// Fault and recovery counters, merged with the live PHY/PDCP views.
     pub fn fault_stats(&self) -> FaultStats {
-        let mut s = self.fault_counters;
-        s.cqi_frozen_reports = self.channel.cqi_frozen_reports;
-        s.cqi_corrupted_reports = self.channel.cqi_corrupted_reports;
-        s.flows_evicted = self.flow_tables.iter().map(|t| t.evictions()).sum();
+        let mut s = self.hk.counters();
+        s.cqi_frozen_reports = self.phy.channel().cqi_frozen_reports;
+        s.cqi_corrupted_reports = self.phy.channel().cqi_corrupted_reports;
+        s.flows_evicted = self.ues.iter().map(|ctx| ctx.flow_table.evictions()).sum();
         s
     }
 
     /// Export one UE's PDCP flow state — the §7 handover path ("the flow
     /// state of a user can also be copied along with the data").
     pub fn export_flow_state(&self, ue: usize) -> Vec<(FiveTuple, u64)> {
-        self.flow_tables[ue].export()
+        self.ues[ue].flow_table.export()
     }
 
     /// Import flow state captured from a source cell at handover.
     pub fn import_flow_state(&mut self, ue: usize, entries: &[(FiveTuple, u64)]) {
-        self.flow_tables[ue].import(entries, self.now);
+        self.ues[ue].flow_table.import(entries, self.now);
     }
 
     /// Total flows registered.
     pub fn n_flows(&self) -> usize {
-        self.flows.len()
+        self.ingress.n_flows()
     }
 
     /// Number of completed flows.
     pub fn n_completed(&self) -> usize {
-        self.flows.iter().filter(|f| f.done).count()
+        self.ingress.n_completed()
     }
 
     /// Aggregate PDCP flow-table state bytes (Fig 13 memory accounting).
     pub fn flow_state_bytes(&self) -> usize {
-        self.flow_tables.iter().map(|t| t.state_bytes()).sum()
+        self.ues
+            .iter()
+            .map(|ctx| ctx.flow_table.state_bytes())
+            .sum()
     }
 
     /// Total flow-table entries across UEs.
     pub fn flow_table_entries(&self) -> usize {
-        self.flow_tables.iter().map(|t| t.len()).sum()
+        self.ues.iter().map(|ctx| ctx.flow_table.len()).sum()
     }
 
     /// Total UM reassembly-window discards across UEs (the §4.4 hazard
     /// the segmented-SDU promotion guards against).
     pub fn reassembly_discards(&self) -> u64 {
-        self.rlc_rx
+        self.ues
             .iter()
-            .map(|rx| match rx {
+            .map(|ctx| match &ctx.rlc_rx {
                 RlcRx::Um(um) => um.discarded_sdus,
                 RlcRx::Am(_) => 0,
             })
             .sum()
     }
 
+    /// SDUs dropped at full RLC buffers.
+    pub fn buffer_drops(&self) -> u64 {
+        self.rlc_down.buffer_drops()
+    }
+
+    /// Transport blocks wasted by (HARQ-recovered) errors.
+    pub fn harq_wasted_tbs(&self) -> u64 {
+        self.phy.harq_wasted_tbs()
+    }
+
+    /// Residual-loss events (post-HARQ losses surfaced to TCP/RLC).
+    pub fn residual_losses(&self) -> u64 {
+        self.phy.residual_losses()
+    }
+
     /// The most recent RTT observed by any flow of `ue` (Fig 17 ①).
     pub fn last_rtt_of_ue(&self, ue: usize) -> Option<Dur> {
-        self.flows
-            .iter()
-            .filter(|f| f.ue == ue)
-            .filter_map(|f| f.sender.last_rtt)
-            .next_back()
+        self.ingress.last_rtt_of_ue(ue)
     }
 
     /// Mean of the last RTT samples across flows (Fig 17 ①).
     pub fn mean_last_rtt_ms(&self) -> f64 {
-        let rtts: Vec<f64> = self
-            .flows
-            .iter()
-            .filter_map(|f| f.sender.last_rtt)
-            .map(|d| d.as_millis_f64())
-            .collect();
-        if rtts.is_empty() {
-            f64::NAN
-        } else {
-            rtts.iter().sum::<f64>() / rtts.len() as f64
-        }
-    }
-}
-
-/// Quantize a flow's remaining size into one of 16 strict-priority
-/// levels (log₂ spacing from 1 KB): the SRJF oracle's intra-UE ordering.
-fn srjf_oracle_priority(remaining: u64) -> outran_pdcp::Priority {
-    let level = (remaining / 1024 + 1).ilog2().min(15) as u8;
-    outran_pdcp::Priority(level)
-}
-
-/// Deliver one reassembled SDU into the flow's TCP receiver; on
-/// completion, record the FCT. (Free function so `transmit` can call it
-/// while holding disjoint borrows of the cell's fields — hence the long
-/// parameter list.)
-#[allow(clippy::too_many_arguments)]
-fn deliver_sdu_um(
-    flows: &mut [FlowRt],
-    events: &mut EventQueue<Ev>,
-    fct: &mut FctCollector,
-    completions: &mut Vec<FlowDone>,
-    open_flows: &mut u64,
-    now: Time,
-    ul_delay: Dur,
-    d: outran_rlc::um::DeliveredSdu,
-) {
-    let flow = d.flow_id as usize;
-    let f = &mut flows[flow];
-    if f.done {
-        return;
-    }
-    let cum = f.receiver.on_segment(d.seq, d.len);
-    events.schedule(now + ul_delay, Ev::AckAtServer { flow, cum });
-    if f.receiver.complete() {
-        f.done = true;
-        *open_flows -= 1;
-        let dur = now.saturating_since(f.spawn);
-        fct.record(f.size, dur);
-        completions.push(FlowDone {
-            id: flow,
-            ue: f.ue,
-            bytes: f.size,
-            spawn: f.spawn,
-            fct: dur,
-        });
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn small_cfg(kind: SchedulerKind, seed: u64) -> CellConfig {
-        let mut cfg = CellConfig::lte_default(4, kind, seed);
-        // Keep unit tests fast: modest bandwidth.
-        cfg.channel.radio = outran_phy::numerology::RadioConfig::lte_rbs(25);
-        cfg.channel.n_subbands = 4;
-        cfg
+        self.ingress.mean_last_rtt_ms()
     }
 
-    #[test]
-    fn single_flow_completes() {
-        let mut cell = Cell::new(small_cfg(SchedulerKind::Pf, 1));
-        cell.schedule_flow(Time::from_millis(10), 0, 50_000, None);
-        cell.run_until(Time::from_secs(5));
-        let done = cell.take_completions();
-        assert_eq!(
-            done.len(),
-            1,
-            "flow must complete (drops={})",
-            cell.buffer_drops
-        );
-        let d = done[0];
-        assert_eq!(d.bytes, 50_000);
-        // Sanity: FCT at least two RTT-ish (CN delay both ways).
-        assert!(d.fct >= Dur::from_millis(20), "fct={}", d.fct);
-        assert!(d.fct <= Dur::from_secs(3), "fct={}", d.fct);
+    /// HARQ retransmissions served across UEs (explicit-HARQ mode).
+    #[doc(hidden)]
+    pub fn harq_retx_served(&self) -> u64 {
+        self.ues.iter().map(|ctx| ctx.harq.retx_served).sum()
     }
 
-    #[test]
-    fn many_flows_all_complete_all_schedulers() {
-        for kind in [
-            SchedulerKind::Pf,
-            SchedulerKind::Mt,
-            SchedulerKind::Rr,
-            SchedulerKind::Srjf,
-            SchedulerKind::Pss,
-            SchedulerKind::Cqa,
-            SchedulerKind::OutRan,
-            SchedulerKind::StrictMlfq,
-        ] {
-            let mut cell = Cell::new(small_cfg(kind, 2));
-            for i in 0..12 {
-                let size = if i % 3 == 0 { 200_000 } else { 4_000 };
-                cell.schedule_flow(Time::from_millis(5 + i * 40), (i % 4) as usize, size, None);
-            }
-            cell.run_until(Time::from_secs(12));
-            assert_eq!(
-                cell.n_completed(),
-                12,
-                "{}: only {}/{} flows completed",
-                kind.name(),
-                cell.n_completed(),
-                12
-            );
-        }
+    /// Priority resets executed so far (`None` if no reset period).
+    #[doc(hidden)]
+    pub fn priority_resets(&self) -> Option<u64> {
+        self.hk.priority_resets()
     }
 
-    #[test]
-    fn deterministic_across_runs() {
-        let run = || {
-            let mut cell = Cell::new(small_cfg(SchedulerKind::OutRan, 7));
-            for i in 0..10 {
-                cell.schedule_flow(
-                    Time::from_millis(10 + i * 30),
-                    (i % 4) as usize,
-                    20_000,
-                    None,
-                );
-            }
-            cell.run_until(Time::from_secs(6));
-            cell.take_completions()
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn outran_beats_pf_for_short_behind_long() {
-        // One UE downloads a huge file; another UE's short flows must not
-        // be starved. Compare mean short FCT OutRAN vs PF on the same
-        // seed/arrivals. (Coarse single-seed check; the full comparison
-        // lives in the integration tests and benches.)
-        let run = |kind| {
-            let mut cell = Cell::new(small_cfg(kind, 11));
-            // Long flow to UE 0 keeps its buffer hot.
-            cell.schedule_flow(Time::from_millis(5), 0, 3_000_000, None);
-            // Short flows to the same UE 0, arriving behind the elephant.
-            for i in 0..10u64 {
-                cell.schedule_flow(Time::from_millis(300 + i * 300), 0, 5_000, None);
-            }
-            cell.run_until(Time::from_secs(8));
-            cell.fct.report().short_mean_ms
-        };
-        let pf = run(SchedulerKind::Pf);
-        let or = run(SchedulerKind::OutRan);
-        assert!(
-            or < pf,
-            "OutRAN short FCT ({or:.1} ms) must beat PF ({pf:.1} ms)"
-        );
-    }
-
-    #[test]
-    fn buffer_overflow_drops_and_recovers() {
-        let mut cfg = small_cfg(SchedulerKind::Pf, 3);
-        cfg.buffer_sdus = 8; // tiny buffer forces drops
-        let mut cell = Cell::new(cfg);
-        cell.schedule_flow(Time::from_millis(5), 0, 500_000, None);
-        cell.run_until(Time::from_secs(20));
-        assert!(cell.buffer_drops > 0, "tiny buffer must drop");
-        assert_eq!(cell.n_completed(), 1, "TCP must recover from drops");
-    }
-
-    #[test]
-    fn am_mode_completes_flows() {
-        let mut cfg = small_cfg(SchedulerKind::OutRan, 4);
-        cfg.rlc_mode = RlcMode::Am;
-        cfg.residual_loss = 0.01; // exercise NACK recovery
-        let mut cell = Cell::new(cfg);
-        for i in 0..6 {
-            cell.schedule_flow(
-                Time::from_millis(10 + i * 50),
-                (i % 4) as usize,
-                30_000,
-                None,
-            );
-        }
-        cell.run_until(Time::from_secs(10));
-        assert_eq!(cell.n_completed(), 6);
-    }
-
-    #[test]
-    fn qos_oracle_feeds_qos_schedulers() {
-        let mut cell = Cell::new(small_cfg(SchedulerKind::Cqa, 5));
-        cell.schedule_flow(Time::from_millis(5), 0, 5_000, None); // short => QoS
-        cell.schedule_flow(Time::from_millis(5), 1, 500_000, None);
-        cell.run_until(Time::from_secs(6));
-        assert_eq!(cell.n_completed(), 2);
-    }
-
-    #[test]
-    fn metrics_populated() {
-        let mut cell = Cell::new(small_cfg(SchedulerKind::Pf, 6));
-        for i in 0..8 {
-            cell.schedule_flow(
-                Time::from_millis(10 + i * 20),
-                (i % 4) as usize,
-                50_000,
-                None,
-            );
-        }
-        cell.run_until(Time::from_secs(5));
-        assert!(cell.metrics.spectral_efficiency() > 0.0);
-        assert!(cell.metrics.mean_qdelay_ms() >= 0.0);
-        assert!(cell.fct.count() > 0);
-        assert!(cell.flow_state_bytes() > 0 || cell.flow_table_entries() == 0);
-    }
-
-    #[test]
-    fn shared_conn_aggregates_sent_bytes() {
-        // Two flows on one QUIC connection: the second one inherits the
-        // accumulated sent-bytes (the §4.2 limitation).
-        let mut cell = Cell::new(small_cfg(SchedulerKind::OutRan, 8));
-        cell.schedule_flow(Time::from_millis(5), 0, 150_000, Some(777));
-        cell.schedule_flow(Time::from_millis(1500), 0, 5_000, Some(777));
-        cell.run_until(Time::from_secs(8));
-        assert_eq!(cell.n_completed(), 2);
-        // The flow table saw one tuple with both flows' bytes.
-        assert!(
-            cell.flow_table_entries() <= 1,
-            "entries={}",
-            cell.flow_table_entries()
-        );
-    }
-
-    #[test]
-    fn priority_reset_runs() {
-        let mut cfg = small_cfg(SchedulerKind::OutRan, 9);
-        cfg.outran.reset_period = Some(Dur::from_millis(500));
-        let mut cell = Cell::new(cfg);
-        cell.schedule_flow(Time::from_millis(5), 0, 100_000, None);
-        cell.run_until(Time::from_secs(3));
-        assert!(cell.reset.as_ref().unwrap().resets >= 4);
-    }
-}
-
-#[cfg(test)]
-mod harq_tests {
-    use super::*;
-    use outran_phy::harq::HarqConfig;
-
-    fn harq_cfg(kind: SchedulerKind, seed: u64) -> CellConfig {
-        let mut cfg = CellConfig::lte_default(4, kind, seed);
-        cfg.channel.radio = outran_phy::numerology::RadioConfig::lte_rbs(25);
-        cfg.channel.n_subbands = 4;
-        cfg.harq = Some(HarqConfig::default());
-        cfg
-    }
-
-    #[test]
-    fn explicit_harq_completes_flows() {
-        // A TB that exhausts its HARQ attempts during a deep fade is a
-        // whole-window burst loss for TCP, so some flows legitimately
-        // take several RTO backoffs to finish — allow a long horizon.
-        let mut cell = Cell::new(harq_cfg(SchedulerKind::OutRan, 31));
-        for i in 0..8u64 {
-            cell.schedule_flow(
-                Time::from_millis(10 + i * 60),
-                (i % 4) as usize,
-                40_000,
-                None,
-            );
-        }
-        cell.run_until(Time::from_secs(40));
-        assert_eq!(cell.n_completed(), 8);
-        // The explicit path must actually exercise retransmissions.
-        let retx: u64 = cell.harq.iter().map(|h| h.retx_served).sum();
-        assert!(retx > 0, "no HARQ retransmissions happened");
-    }
-
-    #[test]
-    fn explicit_harq_am_mode_completes() {
-        let mut cfg = harq_cfg(SchedulerKind::Pf, 32);
-        cfg.rlc_mode = RlcMode::Am;
-        let mut cell = Cell::new(cfg);
-        for i in 0..6u64 {
-            cell.schedule_flow(
-                Time::from_millis(10 + i * 80),
-                (i % 4) as usize,
-                30_000,
-                None,
-            );
-        }
-        cell.run_until(Time::from_secs(12));
-        assert_eq!(cell.n_completed(), 6);
-    }
-
-    #[test]
-    fn explicit_harq_is_deterministic() {
-        let run = || {
-            let mut cell = Cell::new(harq_cfg(SchedulerKind::OutRan, 33));
-            for i in 0..6u64 {
-                cell.schedule_flow(
-                    Time::from_millis(10 + i * 50),
-                    (i % 4) as usize,
-                    20_000,
-                    None,
-                );
-            }
-            cell.run_until(Time::from_secs(8));
-            cell.take_completions()
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn harq_drops_surface_as_losses_under_deep_fade() {
-        let mut cfg = harq_cfg(SchedulerKind::Pf, 34);
-        // Weak combining + single attempt => frequent exhaustion.
-        cfg.harq = Some(HarqConfig {
-            max_tx: 1,
-            combining_gain_db: 0.0,
-            ..HarqConfig::default()
-        });
-        // Cap the SINR so the link sits at mid-CQI with a real error rate.
-        cfg.channel.sinr_cap_db = 16.0;
-        let mut cell = Cell::new(cfg);
-        cell.schedule_flow(Time::from_millis(10), 0, 200_000, None);
-        cell.run_until(Time::from_secs(30));
-        assert!(
-            cell.residual_losses > 0,
-            "max_tx=1 must surface losses to TCP"
-        );
-        // A ~30 % TB-loss link drives real TCP into deep RTO backoff;
-        // completion is not guaranteed, but data must keep flowing and
-        // the simulator must stay sane.
-        assert!(
-            cell.metrics.total_bits() > 100_000.0,
-            "link must still deliver data"
-        );
-    }
-}
-
-impl Cell {
     /// Diagnostics helper: dump stalled-flow state (for debugging only).
     #[doc(hidden)]
     pub fn debug_stall(&self) {
-        for (i, f) in self.flows.iter().enumerate() {
-            if !f.done {
-                println!(
-                    "flow {i} ue {} size {} cum {} snd_una {} in_flight {} rto {:?}",
-                    f.ue,
-                    f.size,
-                    f.receiver.cum(),
-                    f.sender.in_flight(),
-                    f.sender.in_flight(),
-                    f.sender.rto_deadline()
-                );
-            }
-        }
-        for (u, h) in self.harq.iter().enumerate() {
-            if !h.is_empty() {
+        self.ingress.debug_dump_stalled();
+        for (u, ctx) in self.ues.iter().enumerate() {
+            if !ctx.harq.is_empty() {
                 println!(
                     "ue {u} harq pending {} retx_served {} dropped {}",
-                    h.len(),
-                    h.retx_served,
-                    h.dropped_tbs
+                    ctx.harq.len(),
+                    ctx.harq.retx_served,
+                    ctx.harq.dropped_tbs
                 );
             }
         }
-        for (u, tx) in self.rlc_tx.iter().enumerate() {
-            let q = match tx {
+        for (u, ctx) in self.ues.iter().enumerate() {
+            let q = match &ctx.rlc_tx {
                 RlcTx::Um(um) => um.queued_bytes(),
                 RlcTx::Am(am) => am.buffer_status().total(),
             };
@@ -2144,80 +603,5 @@ impl Cell {
                 println!("ue {u} rlc queued {q}");
             }
         }
-    }
-}
-
-#[cfg(test)]
-mod gbr_tests {
-    use super::*;
-
-    fn cell_with_volte(kind: SchedulerKind, seed: u64) -> Cell {
-        let mut cfg = CellConfig::lte_default(4, kind, seed);
-        cfg.channel.radio = outran_phy::numerology::RadioConfig::lte_rbs(25);
-        cfg.channel.n_subbands = 4;
-        let mut cell = Cell::new(cfg);
-        cell.add_gbr_bearer(GbrBearer::volte(0));
-        cell
-    }
-
-    #[test]
-    fn volte_latency_is_bounded_under_load() {
-        // Table 1's point: the Conversational class rides a dedicated
-        // GBR bearer and is isolated from best-effort congestion.
-        for kind in [SchedulerKind::Pf, SchedulerKind::OutRan] {
-            let mut cell = cell_with_volte(kind, 41);
-            // Heavy best-effort elephants on every UE.
-            for i in 0..8u64 {
-                cell.schedule_flow(
-                    Time::from_millis(5 + i * 20),
-                    (i % 4) as usize,
-                    1_000_000,
-                    None,
-                );
-            }
-            cell.run_until(Time::from_secs(10));
-            let n = cell.gbr_latency.count();
-            assert!(n > 400, "{}: VoLTE packets delivered = {n}", kind.name());
-            let p99 = cell.gbr_latency.percentile(99.0);
-            assert!(
-                p99 <= 25.0,
-                "{}: VoLTE p99 latency {p99} ms must stay near one packet interval",
-                kind.name()
-            );
-        }
-    }
-
-    #[test]
-    fn gbr_consumes_little_capacity() {
-        // 14 kbps of VoLTE must not dent best-effort throughput.
-        let tput = |with_gbr: bool| {
-            let mut cfg = CellConfig::lte_default(2, SchedulerKind::Pf, 42);
-            cfg.channel.radio = outran_phy::numerology::RadioConfig::lte_rbs(25);
-            cfg.channel.n_subbands = 4;
-            let mut cell = Cell::new(cfg);
-            if with_gbr {
-                cell.add_gbr_bearer(GbrBearer::volte(0));
-            }
-            cell.schedule_flow(Time::from_millis(5), 1, 4_000_000, None);
-            cell.run_until(Time::from_secs(6));
-            cell.metrics.total_bits()
-        };
-        let without = tput(false);
-        let with = tput(true);
-        assert!(
-            with > without * 0.93,
-            "GBR carve-out too costly: {with:.0} vs {without:.0}"
-        );
-    }
-
-    #[test]
-    fn gbr_delivery_is_deterministic() {
-        let run = || {
-            let mut cell = cell_with_volte(SchedulerKind::OutRan, 43);
-            cell.schedule_flow(Time::from_millis(5), 1, 200_000, None);
-            cell.run_until(Time::from_secs(4));
-            (cell.gbr_latency.count(), cell.n_completed())
-        };
-        assert_eq!(run(), run());
     }
 }

@@ -252,10 +252,20 @@ impl Experiment {
             cell.run_until(drain_end);
         }
 
-        // Only count flows that *started* after warmup.
+        // Only count flows that *started* after warmup. The pipeline
+        // yields completions already in completion order (delivery runs
+        // once per TTI, in TTI order), so no re-sort is needed — the
+        // debug assertion guards that contract.
         let mut fct = outran_metrics::FctCollector::new();
         let mut records = Vec::new();
+        let mut last_done = Time::ZERO;
         for d in cell.take_completions() {
+            let done_at = d.spawn + d.fct;
+            debug_assert!(
+                done_at >= last_done,
+                "pipeline must emit completions in completion order"
+            );
+            last_done = done_at;
             if d.spawn >= warmup_end {
                 fct.record(d.bytes, d.fct);
                 records.push((d.bytes, d.fct.as_millis_f64()));
@@ -267,7 +277,7 @@ impl Experiment {
         // Final invariant sweep so end-of-run state is always audited.
         cell.audit_now();
         ExperimentReport {
-            scheduler: self.scheduler.name(),
+            scheduler: self.scheduler.label(),
             fct: report,
             spectral_efficiency: se,
             fairness,
@@ -276,8 +286,8 @@ impl Experiment {
             mean_rtt_ms: cell.mean_last_rtt_ms(),
             completed: cell.n_completed(),
             offered: cell.n_flows(),
-            buffer_drops: cell.buffer_drops,
-            residual_losses: cell.residual_losses,
+            buffer_drops: cell.buffer_drops(),
+            residual_losses: cell.residual_losses(),
             fault_stats: cell.fault_stats(),
             violations: cell.violations().to_vec(),
             total_violations: cell.total_violations(),

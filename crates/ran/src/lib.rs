@@ -28,10 +28,12 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod config;
 pub mod experiment;
 pub mod multicell;
 pub mod pool;
 pub mod qos;
+pub mod stages;
 pub mod webplt;
 
 pub use cell::{Cell, CellConfig, FlowDone, RlcMode, SchedulerKind, StepProfile};

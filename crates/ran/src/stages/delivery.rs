@@ -1,0 +1,144 @@
+//! Stage 5 — **delivery**: UE-side reassembly and flow completion.
+//!
+//! Replays the PHY stage's ordered [`AirDelivery`] batch: RLC receive
+//! windows (UM reassembly / AM in-order delivery + STATUS), queue-delay
+//! metrics, the delivery-order audit, and the hand-back of reassembled
+//! SDUs to the ingress stage's TCP receivers — recording FCTs for flows
+//! that complete. Draws no randomness (see the bit-identity argument in
+//! [`crate::stages::phy_tx`]).
+
+use crate::config::{CellConfig, FlowDone};
+use crate::stages::{AirDelivery, HarqData, HousekeepingStage, IngressStage, RlcRx, UeContext};
+use outran_metrics::{CellMetrics, FctCollector};
+use outran_rlc::am::AmPdu;
+use outran_rlc::sdu::RlcSegment;
+use outran_simcore::Time;
+
+/// The delivery stage (see module docs).
+#[derive(Default)]
+pub struct DeliveryStage {
+    completions: Vec<FlowDone>,
+    delivered_bytes: u64,
+}
+
+impl DeliveryStage {
+    /// Fresh stage.
+    pub fn new() -> DeliveryStage {
+        DeliveryStage::default()
+    }
+
+    /// Replay one TTI's delivery batch in transmission order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &mut self,
+        now: Time,
+        cfg: &CellConfig,
+        batch: &mut Vec<AirDelivery>,
+        ues: &mut [UeContext],
+        ingress: &mut IngressStage,
+        hk: &mut HousekeepingStage,
+        fct: &mut FctCollector,
+        metrics: &mut CellMetrics,
+    ) {
+        for item in batch.drain(..) {
+            match item {
+                AirDelivery::UmSeg { ue, seg } => {
+                    self.um_segment(now, cfg, ues, ingress, hk, fct, metrics, ue, seg);
+                }
+                AirDelivery::AmPdus { ue, pdus } => {
+                    self.am_pdus(now, cfg, ues, ingress, hk, fct, metrics, ue, pdus);
+                }
+                AirDelivery::Harq { ue, payload } => match payload.data {
+                    HarqData::Um(segs) => {
+                        for seg in segs {
+                            self.um_segment(now, cfg, ues, ingress, hk, fct, metrics, ue, seg);
+                        }
+                    }
+                    HarqData::Am(pdus) => {
+                        self.am_pdus(now, cfg, ues, ingress, hk, fct, metrics, ue, pdus);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Deliver one UM segment into the UE stack (reassembly + TCP).
+    #[allow(clippy::too_many_arguments)]
+    fn um_segment(
+        &mut self,
+        now: Time,
+        cfg: &CellConfig,
+        ues: &mut [UeContext],
+        ingress: &mut IngressStage,
+        hk: &mut HousekeepingStage,
+        fct: &mut FctCollector,
+        metrics: &mut CellMetrics,
+        ue: usize,
+        seg: RlcSegment,
+    ) {
+        if seg.is_last() {
+            let short = ingress.flow_is_short(seg.flow_id as usize);
+            metrics.on_queue_delay(now.saturating_since(seg.arrival), short);
+        }
+        let RlcRx::Um(rx) = &mut ues[ue].rlc_rx else {
+            unreachable!("UM tx with AM rx");
+        };
+        if let Some(d) = rx.on_segment(&seg, now) {
+            self.delivered_bytes += d.len as u64;
+            hk.observe_delivery(now, ue, d.flow_id, d.sdu_id);
+            let ul_delay = cfg.cn_delay + cfg.ul_air_delay + hk.cn_extra_delay();
+            if let Some(done) = ingress.accept_sdu(now, ul_delay, &d) {
+                fct.record(done.bytes, done.fct);
+                self.completions.push(done);
+            }
+        }
+    }
+
+    /// Deliver AM PDUs into the UE stack (in-order delivery + STATUS).
+    #[allow(clippy::too_many_arguments)]
+    fn am_pdus(
+        &mut self,
+        now: Time,
+        cfg: &CellConfig,
+        ues: &mut [UeContext],
+        ingress: &mut IngressStage,
+        hk: &mut HousekeepingStage,
+        fct: &mut FctCollector,
+        metrics: &mut CellMetrics,
+        ue: usize,
+        pdus: Vec<AmPdu>,
+    ) {
+        for pdu in pdus {
+            if pdu.seg.is_last() {
+                let short = ingress.flow_is_short(pdu.seg.flow_id as usize);
+                metrics.on_queue_delay(now.saturating_since(pdu.seg.arrival), short);
+            }
+            let RlcRx::Am(rx) = &mut ues[ue].rlc_rx else {
+                unreachable!("AM tx with UM rx");
+            };
+            let (sdus, status) = rx.on_pdu(pdu, now);
+            for d in sdus {
+                self.delivered_bytes += d.len as u64;
+                hk.observe_delivery(now, ue, d.flow_id, d.sdu_id);
+                let ul_delay = cfg.cn_delay + cfg.ul_air_delay + hk.cn_extra_delay();
+                if let Some(done) = ingress.accept_sdu(now, ul_delay, &d) {
+                    fct.record(done.bytes, done.fct);
+                    self.completions.push(done);
+                }
+            }
+            if let Some(status) = status {
+                ingress.schedule_status(now + cfg.ul_air_delay, ue, status);
+            }
+        }
+    }
+
+    /// Drain completed-flow records accumulated since the last call.
+    pub fn take_completions(&mut self) -> Vec<FlowDone> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Bytes delivered to the UE stacks (byte-conservation ledger term).
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+}

@@ -1,0 +1,401 @@
+//! Stage 1 — **ingress**: the server/CN side of the pipeline.
+//!
+//! Owns the TCP endpoints, the discrete event queue (flow arrivals,
+//! packet/ACK propagation, AM STATUS PDUs), the RTO and stalled-flow
+//! watchdog scans, and the CN-side terms of the byte-conservation
+//! ledger. Downlink packets that survive the CN link are handed to the
+//! RLC-down stage as typed [`SduIngress`] messages; the delivery stage
+//! hands reassembled SDUs back via [`IngressStage::accept_sdu`].
+
+use crate::config::CellConfig;
+use crate::stages::{
+    HousekeepingStage, ObserverHost, RlcDownStage, SduIngress, StageId, UeContext,
+};
+use outran_pdcp::FiveTuple;
+use outran_rlc::am::StatusPdu;
+use outran_rlc::um::DeliveredSdu;
+use outran_simcore::{Dur, EventQueue, Time};
+use outran_transport::{TcpReceiver, TcpSender};
+
+/// A completed-flow record emitted by [`IngressStage::accept_sdu`]; the
+/// delivery stage folds it into the cell's FCT collector.
+pub use crate::config::FlowDone;
+
+enum Ev {
+    Arrival { flow: usize },
+    PktAtEnb { flow: usize, seq: u64, len: u32 },
+    AckAtServer { flow: usize, cum: u64 },
+    StatusAtEnb { ue: usize, status: StatusPdu },
+}
+
+struct FlowRt {
+    ue: usize,
+    size: u64,
+    spawn: Time,
+    tuple: FiveTuple,
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    started: bool,
+    done: bool,
+    /// Watchdog state: highest cumulative ACK seen, and when it moved.
+    last_cum: u64,
+    last_progress: Time,
+}
+
+/// The ingress stage (see module docs).
+pub struct IngressStage {
+    flows: Vec<FlowRt>,
+    events: EventQueue<Ev>,
+    /// Started-but-incomplete flows — the O(1) core of the idle test.
+    open_flows: u64,
+    // CN-side byte-conservation ledger terms.
+    injected_bytes: u64,
+    cn_in_flight_bytes: u64,
+    dropped_bytes: u64,
+}
+
+impl IngressStage {
+    /// Fresh stage with no flows.
+    pub fn new() -> IngressStage {
+        IngressStage {
+            flows: Vec::new(),
+            events: EventQueue::new(),
+            open_flows: 0,
+            injected_bytes: 0,
+            cn_in_flight_bytes: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    /// Register a flow of `bytes` toward `ue`, starting at the server at
+    /// `at` (≥ now). `conn` groups flows onto a shared five-tuple.
+    #[allow(clippy::too_many_arguments)]
+    pub fn schedule_flow(
+        &mut self,
+        now: Time,
+        tti: Dur,
+        cfg: &CellConfig,
+        at: Time,
+        ue: usize,
+        bytes: u64,
+        conn: Option<u64>,
+    ) -> usize {
+        let id = self.flows.len();
+        let tuple = match conn {
+            Some(c) => FiveTuple::simulated(c, ue as u16),
+            None => FiveTuple::simulated(1_000_000 + id as u64, ue as u16),
+        };
+        // The connection handshake already sampled one wired+air RTT.
+        let handshake_rtt =
+            Dur(2 * (cfg.cn_delay.as_nanos() + cfg.ul_air_delay.as_nanos()) + tti.as_nanos() * 4);
+        self.flows.push(FlowRt {
+            ue,
+            size: bytes,
+            spawn: at,
+            tuple,
+            sender: TcpSender::with_initial_rtt(cfg.tcp, bytes, handshake_rtt),
+            receiver: TcpReceiver::new(bytes),
+            started: false,
+            done: false,
+            last_cum: 0,
+            last_progress: at,
+        });
+        self.events.schedule(at.max(now), Ev::Arrival { flow: id });
+        id
+    }
+
+    /// Per-TTI ingress pass: drain due events (arrivals, packets, ACKs,
+    /// STATUS), then the RTO scan, then the stalled-flow watchdog. The
+    /// CN link faults act here: an outage drops every traversing packet,
+    /// a degrade window loses them with probability `cn_loss`. Packets
+    /// that reach the xNodeB cross into the RLC-down stage (bracketed
+    /// for the observer, since that work belongs to the RLC layer).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &mut self,
+        now: Time,
+        cfg: &CellConfig,
+        ues: &mut [UeContext],
+        rlc: &mut RlcDownStage,
+        hk: &mut HousekeepingStage,
+        obs: &mut ObserverHost,
+    ) {
+        // 1. Event processing.
+        while let Some((_, ev)) = self.events.pop_due(now) {
+            match ev {
+                Ev::Arrival { flow } => {
+                    self.flows[flow].started = true;
+                    self.open_flows += 1;
+                    self.server_emit(now, cfg, hk, flow);
+                }
+                Ev::PktAtEnb { flow, seq, len } => {
+                    self.cn_in_flight_bytes -= len as u64;
+                    if hk.cn_loses_packet() {
+                        self.dropped_bytes += len as u64;
+                        hk.note_cn_dropped_data(len as u64);
+                    } else {
+                        self.on_pkt_at_enb(now, ues, rlc, obs, flow, seq, len);
+                    }
+                }
+                Ev::AckAtServer { flow, cum } => {
+                    if hk.cn_loses_packet() {
+                        hk.note_cn_dropped_ack();
+                    } else {
+                        let f = &mut self.flows[flow];
+                        f.sender.on_ack(now, cum);
+                        self.server_emit(now, cfg, hk, flow);
+                    }
+                }
+                Ev::StatusAtEnb { ue, status } => {
+                    obs.enter(StageId::RlcDown);
+                    rlc.on_status(&mut ues[ue], &status);
+                    obs.exit(StageId::RlcDown);
+                }
+            }
+        }
+
+        // 2. RTO scan.
+        for flow in 0..self.flows.len() {
+            let f = &self.flows[flow];
+            if f.done || !f.started {
+                continue;
+            }
+            if let Some(deadline) = f.sender.rto_deadline() {
+                if deadline <= now {
+                    self.flows[flow].sender.on_rto(now);
+                    self.server_emit(now, cfg, hk, flow);
+                }
+            }
+        }
+
+        // 2b. Stalled-flow watchdog: a started flow whose cumulative ACK
+        // has not moved for the configured interval gets a forced TCP
+        // timeout (go-back-N refill) — the recovery of last resort when
+        // every in-flight copy of a segment was lost to faults.
+        if let Some(stall) = cfg.watchdog {
+            for flow in 0..self.flows.len() {
+                let kick = {
+                    let f = &mut self.flows[flow];
+                    if f.done || !f.started {
+                        continue;
+                    }
+                    let cum = f.receiver.cum();
+                    if cum > f.last_cum {
+                        f.last_cum = cum;
+                        f.last_progress = now;
+                        false
+                    } else {
+                        now.saturating_since(f.last_progress) >= stall
+                    }
+                };
+                if kick && hk.faults().link_up(self.flows[flow].ue) {
+                    self.flows[flow].last_progress = now;
+                    self.flows[flow].sender.on_rto(now);
+                    hk.note_watchdog_kick();
+                    self.server_emit(now, cfg, hk, flow);
+                }
+            }
+        }
+    }
+
+    /// Let the server push whatever the flow's window allows.
+    fn server_emit(
+        &mut self,
+        now: Time,
+        cfg: &CellConfig,
+        hk: &mut HousekeepingStage,
+        flow: usize,
+    ) {
+        let segs = {
+            let f = &mut self.flows[flow];
+            if f.done {
+                return;
+            }
+            f.sender.emit(now)
+        };
+        let delay = cfg.cn_delay + hk.cn_extra_delay();
+        let degraded = hk.cn_extra_delay() > Dur::ZERO;
+        for seg in segs {
+            self.injected_bytes += seg.len as u64;
+            self.cn_in_flight_bytes += seg.len as u64;
+            if degraded {
+                hk.note_cn_delayed_pkt();
+            }
+            self.events.schedule(
+                now + delay,
+                Ev::PktAtEnb {
+                    flow,
+                    seq: seg.seq,
+                    len: seg.len,
+                },
+            );
+        }
+    }
+
+    /// A downlink packet arrives at the xNodeB: cross into RLC-down.
+    #[allow(clippy::too_many_arguments)]
+    fn on_pkt_at_enb(
+        &mut self,
+        now: Time,
+        ues: &mut [UeContext],
+        rlc: &mut RlcDownStage,
+        obs: &mut ObserverHost,
+        flow: usize,
+        seq: u64,
+        len: u32,
+    ) {
+        let (ue, tuple, size) = {
+            let f = &self.flows[flow];
+            (f.ue, f.tuple, f.size)
+        };
+        if self.flows[flow].done {
+            // Stale retransmission of a completed flow: terminal for the
+            // byte ledger.
+            self.dropped_bytes += len as u64;
+            return;
+        }
+        let msg = SduIngress {
+            flow,
+            ue,
+            tuple,
+            seq,
+            len,
+            oracle_remaining: size.saturating_sub(seq),
+        };
+        obs.enter(StageId::RlcDown);
+        rlc.ingest(now, msg, &mut ues[ue]);
+        obs.exit(StageId::RlcDown);
+    }
+
+    /// Deliver one reassembled SDU into the flow's TCP receiver and
+    /// schedule the cumulative ACK back to the server; returns the
+    /// completion record when this SDU finished the flow.
+    pub fn accept_sdu(&mut self, now: Time, ul_delay: Dur, d: &DeliveredSdu) -> Option<FlowDone> {
+        let flow = d.flow_id as usize;
+        let f = &mut self.flows[flow];
+        if f.done {
+            return None;
+        }
+        let cum = f.receiver.on_segment(d.seq, d.len);
+        self.events
+            .schedule(now + ul_delay, Ev::AckAtServer { flow, cum });
+        if f.receiver.complete() {
+            f.done = true;
+            self.open_flows -= 1;
+            let dur = now.saturating_since(f.spawn);
+            return Some(FlowDone {
+                id: flow,
+                ue: f.ue,
+                bytes: f.size,
+                spawn: f.spawn,
+                fct: dur,
+            });
+        }
+        None
+    }
+
+    /// Schedule an AM STATUS PDU's uplink arrival at the xNodeB.
+    pub fn schedule_status(&mut self, at: Time, ue: usize, status: StatusPdu) {
+        self.events.schedule(at, Ev::StatusAtEnb { ue, status });
+    }
+
+    // ---- read-side accessors ------------------------------------------
+
+    /// Started-but-incomplete flow count.
+    pub fn open_flows(&self) -> u64 {
+        self.open_flows
+    }
+
+    /// Instant of the earliest queued event, if any.
+    pub fn peek_event_time(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// Whether flow `fi` has completed.
+    pub fn flow_done(&self, fi: usize) -> bool {
+        self.flows[fi].done
+    }
+
+    /// Whether flow `fi` is short (≤ 10 kB — the QoS-oracle class).
+    pub fn flow_is_short(&self, fi: usize) -> bool {
+        self.flows[fi].size <= 10_000
+    }
+
+    /// Bytes of flow `fi` not yet cumulatively ACKed.
+    pub fn flow_remaining(&self, fi: usize) -> u64 {
+        let f = &self.flows[fi];
+        f.size.saturating_sub(f.receiver.cum())
+    }
+
+    /// Total flows registered.
+    pub fn n_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Number of completed flows.
+    pub fn n_completed(&self) -> usize {
+        self.flows.iter().filter(|f| f.done).count()
+    }
+
+    /// The most recent RTT observed by any flow of `ue`.
+    pub fn last_rtt_of_ue(&self, ue: usize) -> Option<Dur> {
+        self.flows
+            .iter()
+            .filter(|f| f.ue == ue)
+            .filter_map(|f| f.sender.last_rtt)
+            .next_back()
+    }
+
+    /// Mean of the last RTT samples across flows.
+    pub fn mean_last_rtt_ms(&self) -> f64 {
+        let rtts: Vec<f64> = self
+            .flows
+            .iter()
+            .filter_map(|f| f.sender.last_rtt)
+            .map(|d| d.as_millis_f64())
+            .collect();
+        if rtts.is_empty() {
+            f64::NAN
+        } else {
+            rtts.iter().sum::<f64>() / rtts.len() as f64
+        }
+    }
+
+    /// Bytes injected by the servers (byte-conservation ledger term).
+    pub fn injected_bytes(&self) -> u64 {
+        self.injected_bytes
+    }
+
+    /// Bytes currently traversing the CN link (ledger term).
+    pub fn cn_in_flight_bytes(&self) -> u64 {
+        self.cn_in_flight_bytes
+    }
+
+    /// Bytes terminally dropped at ingress (CN loss, stale packets).
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes
+    }
+
+    /// Dump incomplete-flow diagnostics (debug only).
+    pub fn debug_dump_stalled(&self) {
+        for (i, f) in self.flows.iter().enumerate() {
+            if !f.done {
+                println!(
+                    "flow {i} ue {} size {} cum {} snd_una {} in_flight {} rto {:?}",
+                    f.ue,
+                    f.size,
+                    f.receiver.cum(),
+                    f.sender.in_flight(),
+                    f.sender.in_flight(),
+                    f.sender.rto_deadline()
+                );
+            }
+        }
+    }
+}
+
+impl Default for IngressStage {
+    fn default() -> Self {
+        IngressStage::new()
+    }
+}

@@ -1,0 +1,610 @@
+//! The per-TTI layer pipeline and its structural observation hooks.
+//!
+//! [`crate::cell::Cell`] executes one active TTI as a fixed sequence of
+//! stages, each a struct owning its slice of the former monolith's
+//! state and communicating only through small typed messages (see
+//! DESIGN.md § "Layer pipeline"):
+//!
+//! ```text
+//! housekeeping(pre: fault edges)
+//!   → ingress      (CN arrivals, TCP endpoints, RTO/watchdog)
+//!   → rlc_down     (PDCP marking + MLFQ/AM/UM SDU admission)
+//!   → phy_tx       (channel evolution)
+//!   → mac_sched    (rate refresh, GBR carve-out, RB allocation)
+//!   → phy_tx       (HARQ/BLER transmit → ordered AirDelivery batch)
+//!   → delivery     (reassembly, TCP receive, flow completion)
+//!   → housekeeping (post: timers, GC, invariant audit)
+//! ```
+//!
+//! The [`StageObserver`] trait is the single structural injection point
+//! for anything that wants to watch the pipeline run: the `--profile`
+//! wall-time attribution ([`StageTimer`]), the golden-trace determinism
+//! harness, and future fault/audit probes all attach here instead of
+//! being hand-woven through the step function.
+
+pub mod delivery;
+pub mod housekeeping;
+pub mod ingress;
+pub mod mac_sched;
+pub mod phy_tx;
+pub mod rlc_down;
+
+pub use delivery::DeliveryStage;
+pub use housekeeping::HousekeepingStage;
+pub use ingress::IngressStage;
+pub use mac_sched::MacSchedStage;
+pub use phy_tx::PhyTxStage;
+pub use rlc_down::RlcDownStage;
+
+use crate::config::{CellConfig, RlcMode};
+use outran_mac::RateSource;
+use outran_pdcp::{FlowTable, MlfqConfig};
+use outran_rlc::am::{AmConfig, AmPdu, AmRx, AmTx};
+use outran_rlc::sdu::{RlcSdu, RlcSegment};
+use outran_rlc::um::{UmConfig, UmRx, UmTx};
+use outran_simcore::Time;
+
+/// Identifies one stage of the active-TTI pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageId {
+    /// CN arrival/ACK/STATUS event drain, RTO and watchdog scans.
+    Ingress,
+    /// PDCP inspection + RLC SDU admission (and RLC PDU pulls during
+    /// transmit, re-entered from `PhyTx` for attribution).
+    RlcDown,
+    /// Rate-matrix refresh, GBR reservation, scheduler invocation.
+    MacSched,
+    /// Channel evolution and the HARQ/BLER air-interface transmit.
+    PhyTx,
+    /// Reassembly, TCP receive and flow-completion recording.
+    Delivery,
+    /// Fault edges, RLC timers, flow-table GC, invariant audits.
+    Housekeeping,
+}
+
+impl StageId {
+    /// All stages, in nominal pipeline order.
+    pub const ALL: [StageId; 6] = [
+        StageId::Ingress,
+        StageId::RlcDown,
+        StageId::MacSched,
+        StageId::PhyTx,
+        StageId::Delivery,
+        StageId::Housekeeping,
+    ];
+
+    /// Short display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Ingress => "ingress",
+            StageId::RlcDown => "rlc_down",
+            StageId::MacSched => "mac_sched",
+            StageId::PhyTx => "phy_tx",
+            StageId::Delivery => "delivery",
+            StageId::Housekeeping => "housekeeping",
+        }
+    }
+}
+
+/// End-of-TTI roll-up handed to [`StageObserver::on_tti`] — the typed
+/// message the golden-trace determinism harness digests.
+#[derive(Debug, Clone, Copy)]
+pub struct TtiSummary {
+    /// Resource blocks granted this TTI (dynamic + GBR-reserved).
+    pub used_rbs: u32,
+    /// Resource blocks the carrier offers per TTI.
+    pub total_rbs: u32,
+    /// Cumulative bytes delivered to UE stacks since the run started.
+    pub delivered_bytes: u64,
+    /// Cumulative completed flows since the run started.
+    pub completed_flows: u64,
+}
+
+/// Structural hook over the active-TTI pipeline.
+///
+/// `stage_enter`/`stage_exit` bracket every stage execution (stages may
+/// nest: RLC pull work performed during the PHY transmit is re-entered
+/// as [`StageId::RlcDown`]); [`StageObserver::on_tti`] fires once at
+/// the end of every *active* TTI — idle TTIs execute no stages and
+/// produce no callbacks, identically in dense and event-driven
+/// stepping.
+pub trait StageObserver {
+    /// A stage begins executing (possibly nested inside another).
+    fn stage_enter(&mut self, id: StageId) {
+        let _ = id;
+    }
+    /// The innermost executing stage ends.
+    fn stage_exit(&mut self, id: StageId) {
+        let _ = id;
+    }
+    /// The active TTI ending at `now` finished the whole pipeline.
+    fn on_tti(&mut self, now: Time, summary: &TtiSummary) {
+        let _ = (now, summary);
+    }
+}
+
+/// Per-stage wall-time attribution of the active-TTI pipeline, in
+/// nanoseconds (opt-in via [`crate::cell::Cell::enable_profiling`]).
+///
+/// Times are *exclusive*: RLC pull work re-entered from inside the PHY
+/// transmit is attributed to `rlc_down_ns`, not `phy_tx_ns`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepProfile {
+    /// Event drain, TCP endpoints, RTO and watchdog scans.
+    pub ingress_ns: u64,
+    /// PDCP marking + RLC SDU admission and PDU pulls.
+    pub rlc_down_ns: u64,
+    /// Rate refresh, GBR carve-out and MAC scheduling.
+    pub mac_sched_ns: u64,
+    /// Channel evolution and the air-interface transmit.
+    pub phy_tx_ns: u64,
+    /// Reassembly, TCP receive and completion recording.
+    pub delivery_ns: u64,
+    /// Fault edges, RLC timers, GC and invariant audits.
+    pub housekeeping_ns: u64,
+}
+
+impl StepProfile {
+    /// Total attributed time across all stages, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.ingress_ns
+            + self.rlc_down_ns
+            + self.mac_sched_ns
+            + self.phy_tx_ns
+            + self.delivery_ns
+            + self.housekeeping_ns
+    }
+
+    fn slot(&mut self, id: StageId) -> &mut u64 {
+        match id {
+            StageId::Ingress => &mut self.ingress_ns,
+            StageId::RlcDown => &mut self.rlc_down_ns,
+            StageId::MacSched => &mut self.mac_sched_ns,
+            StageId::PhyTx => &mut self.phy_tx_ns,
+            StageId::Delivery => &mut self.delivery_ns,
+            StageId::Housekeeping => &mut self.housekeeping_ns,
+        }
+    }
+}
+
+/// The built-in profiling observer: attributes wall time exclusively to
+/// the innermost active stage via a stage stack.
+#[derive(Debug, Default)]
+pub struct StageTimer {
+    profile: StepProfile,
+    stack: Vec<StageId>,
+    last: Option<std::time::Instant>,
+}
+
+impl StageTimer {
+    /// Accumulated per-stage timings.
+    pub fn profile(&self) -> &StepProfile {
+        &self.profile
+    }
+
+    fn lap(&mut self) -> Option<u64> {
+        // outran-lint: allow(d1) -- profiling lap timer, measurement only
+        let t = std::time::Instant::now();
+        let elapsed = self.last.map(|l| t.duration_since(l).as_nanos() as u64);
+        self.last = Some(t);
+        elapsed
+    }
+}
+
+impl StageObserver for StageTimer {
+    fn stage_enter(&mut self, id: StageId) {
+        let elapsed = self.lap();
+        if let (Some(ns), Some(&top)) = (elapsed, self.stack.last()) {
+            *self.profile.slot(top) += ns;
+        }
+        self.stack.push(id);
+    }
+
+    fn stage_exit(&mut self, id: StageId) {
+        let elapsed = self.lap();
+        if let Some(top) = self.stack.pop() {
+            debug_assert_eq!(top, id, "unbalanced stage brackets");
+            if let Some(ns) = elapsed {
+                *self.profile.slot(top) += ns;
+            }
+        }
+        if self.stack.is_empty() {
+            // Inter-stage gaps (orchestrator glue) stay unattributed.
+            self.last = None;
+        }
+    }
+}
+
+/// Owner of the optional pipeline observer. All hook calls are no-ops
+/// when nothing is attached, so the hot path pays one enum-tag check.
+#[derive(Default)]
+pub struct ObserverHost {
+    inner: Slot,
+}
+
+#[derive(Default)]
+enum Slot {
+    #[default]
+    None,
+    Timer(StageTimer),
+    Custom(Box<dyn StageObserver + Send>),
+}
+
+impl ObserverHost {
+    /// Attach the built-in profiling timer (replacing any observer).
+    pub(crate) fn install_timer(&mut self) {
+        self.inner = Slot::Timer(StageTimer::default());
+    }
+
+    /// Attach a custom observer (replacing any observer).
+    pub(crate) fn install(&mut self, obs: Box<dyn StageObserver + Send>) {
+        self.inner = Slot::Custom(obs);
+    }
+
+    /// The profiling timer's figures, if [`ObserverHost::install_timer`]
+    /// is the active observer.
+    pub(crate) fn profile(&self) -> Option<&StepProfile> {
+        match &self.inner {
+            Slot::Timer(t) => Some(t.profile()),
+            _ => None,
+        }
+    }
+
+    /// Whether any observer is attached (lets callers skip summary
+    /// assembly work when nobody is listening).
+    #[inline]
+    pub(crate) fn is_active(&self) -> bool {
+        !matches!(self.inner, Slot::None)
+    }
+
+    /// Bracket entry — see [`StageObserver::stage_enter`].
+    #[inline]
+    pub(crate) fn enter(&mut self, id: StageId) {
+        match &mut self.inner {
+            Slot::None => {}
+            Slot::Timer(t) => t.stage_enter(id),
+            Slot::Custom(o) => o.stage_enter(id),
+        }
+    }
+
+    /// Bracket exit — see [`StageObserver::stage_exit`].
+    #[inline]
+    pub(crate) fn exit(&mut self, id: StageId) {
+        match &mut self.inner {
+            Slot::None => {}
+            Slot::Timer(t) => t.stage_exit(id),
+            Slot::Custom(o) => o.stage_exit(id),
+        }
+    }
+
+    /// End-of-TTI notification — see [`StageObserver::on_tti`].
+    #[inline]
+    pub(crate) fn on_tti(&mut self, now: Time, summary: &TtiSummary) {
+        match &mut self.inner {
+            Slot::None => {}
+            Slot::Timer(t) => t.on_tti(now, summary),
+            Slot::Custom(o) => o.on_tti(now, summary),
+        }
+    }
+}
+
+// ---- per-UE pipeline contract ------------------------------------------
+
+/// The downlink RLC transmit entity of one UE, in either mode.
+pub enum RlcTx {
+    /// Unacknowledged Mode.
+    Um(UmTx),
+    /// Acknowledged Mode.
+    Am(AmTx),
+}
+
+impl RlcTx {
+    /// Admit one SDU; `Err` returns the discarded victim (drop-tail or
+    /// push-out).
+    pub fn write_sdu(&mut self, sdu: RlcSdu) -> Result<(), RlcSdu> {
+        match self {
+            RlcTx::Um(um) => um.write_sdu(sdu),
+            RlcTx::Am(am) => am.write_sdu(sdu),
+        }
+    }
+
+    /// Whether this entity can still generate transmission work (AM
+    /// counts retransmission/status machinery, not just queued SDUs).
+    pub fn has_work(&self) -> bool {
+        match self {
+            RlcTx::Um(um) => !um.is_empty(),
+            RlcTx::Am(am) => !am.is_quiescent(),
+        }
+    }
+
+    /// O(1) occupancy triple for scheduler input: (queued bytes, head
+    /// priority, oldest head-of-line arrival).
+    pub fn occupancy(&self) -> (u64, Option<outran_pdcp::Priority>, Option<Time>) {
+        match self {
+            RlcTx::Um(um) => (
+                um.queued_bytes(),
+                um.head_priority(),
+                um.oldest_head_arrival(),
+            ),
+            RlcTx::Am(am) => (
+                am.pending_bytes(),
+                am.head_priority(),
+                am.oldest_head_arrival(),
+            ),
+        }
+    }
+
+    /// Queued SDU count.
+    pub fn len_sdus(&self) -> usize {
+        match self {
+            RlcTx::Um(um) => um.len_sdus(),
+            RlcTx::Am(am) => am.len_sdus(),
+        }
+    }
+
+    /// Current SDU capacity.
+    pub fn capacity_sdus(&self) -> usize {
+        match self {
+            RlcTx::Um(um) => um.capacity_sdus(),
+            RlcTx::Am(am) => am.capacity_sdus(),
+        }
+    }
+
+    /// Clamp the SDU capacity, flushing overflow; returns (SDUs, bytes)
+    /// flushed.
+    pub fn set_capacity(&mut self, capacity_sdus: usize) -> (u64, u64) {
+        match self {
+            RlcTx::Um(um) => um.set_capacity(capacity_sdus),
+            RlcTx::Am(am) => am.set_capacity(capacity_sdus),
+        }
+    }
+
+    /// RLC re-establishment flush; returns (SDUs, bytes) flushed.
+    pub fn reestablish(&mut self) -> (u64, u64) {
+        match self {
+            RlcTx::Um(um) => um.reestablish(),
+            RlcTx::Am(am) => am.reestablish(),
+        }
+    }
+}
+
+/// The receive-side RLC entity of one UE, in either mode.
+pub enum RlcRx {
+    /// Unacknowledged Mode reassembly.
+    Um(UmRx),
+    /// Acknowledged Mode receive window.
+    Am(AmRx),
+}
+
+impl RlcRx {
+    /// RLC re-establishment flush; returns (SDUs, bytes) discarded.
+    pub fn reestablish(&mut self) -> (u64, u64) {
+        match self {
+            RlcRx::Um(um) => um.reestablish(),
+            RlcRx::Am(am) => am.reestablish(),
+        }
+    }
+}
+
+/// What a HARQ transport block carries in this cell. The ledger byte
+/// count is cached at construction so the hot path never re-walks the
+/// segment list (AM PDUs are ledger-exempt: AM runs without
+/// conservation auditing).
+pub struct HarqPayload {
+    /// Ledger-countable payload bytes (0 for AM).
+    pub bytes: u64,
+    /// The RLC PDUs awaiting retransmission.
+    pub data: HarqData,
+}
+
+/// Mode-specific HARQ payload contents.
+pub enum HarqData {
+    /// UM segments.
+    Um(Vec<RlcSegment>),
+    /// AM PDUs.
+    Am(Vec<AmPdu>),
+}
+
+impl HarqPayload {
+    /// Wrap UM segments, caching their ledger byte count.
+    pub fn um(segs: Vec<RlcSegment>) -> HarqPayload {
+        let bytes = segs.iter().map(|s| s.len as u64).sum();
+        HarqPayload {
+            bytes,
+            data: HarqData::Um(segs),
+        }
+    }
+
+    /// Wrap AM PDUs (ledger-exempt).
+    pub fn am(pdus: Vec<AmPdu>) -> HarqPayload {
+        HarqPayload {
+            bytes: 0,
+            data: HarqData::Am(pdus),
+        }
+    }
+}
+
+/// Everything the pipeline keeps per UE — the former parallel per-UE
+/// vectors of the monolithic `Cell`, gathered into one context that
+/// stages receive as `&mut [UeContext]`.
+pub struct UeContext {
+    /// PDCP flow table (MLFQ marking state).
+    pub flow_table: FlowTable,
+    /// Downlink RLC transmit entity.
+    pub rlc_tx: RlcTx,
+    /// UE-side RLC receive entity.
+    pub rlc_rx: RlcRx,
+    /// Per-UE HARQ processes (explicit-HARQ mode).
+    pub harq: outran_phy::harq::HarqQueue<HarqPayload>,
+    /// Indices of this UE's not-yet-completed flows (pruned lazily).
+    pub flows: Vec<usize>,
+}
+
+impl UeContext {
+    /// Build the per-UE contexts for a configuration (one shared MLFQ
+    /// config across flow tables; per-mode RLC entities).
+    pub(crate) fn build_all(cfg: &CellConfig) -> Vec<UeContext> {
+        let mlfq = std::sync::Arc::new(if cfg.scheduler.uses_mlfq() {
+            cfg.outran.resolve_mlfq()
+        } else {
+            MlfqConfig::default()
+        });
+        let levels = if cfg.scheduler.uses_mlfq() {
+            cfg.outran.mlfq_queues
+        } else if cfg.scheduler.uses_oracle_priority() {
+            16 // fine-grained remaining-size levels for the SRJF oracle
+        } else {
+            1 // legacy FIFO
+        };
+        (0..cfg.n_ues)
+            .map(|_| {
+                let mut flow_table = FlowTable::shared(mlfq.clone());
+                if let Some(cap) = cfg.max_flow_entries {
+                    flow_table.set_max_entries(Some(cap));
+                }
+                UeContext {
+                    flow_table,
+                    rlc_tx: match cfg.rlc_mode {
+                        RlcMode::Um => RlcTx::Um(UmTx::new(UmConfig {
+                            mlfq_levels: levels,
+                            capacity_sdus: cfg.buffer_sdus,
+                            header_bytes: cfg.outran.header_bytes,
+                            reassembly_window: cfg.outran.reassembly_window,
+                            promote_segments: cfg.outran.promote_segments,
+                            pushout: cfg.outran.pushout,
+                        })),
+                        RlcMode::Am => RlcTx::Am(AmTx::new(AmConfig {
+                            mlfq_levels: levels,
+                            capacity_sdus: cfg.buffer_sdus,
+                            header_bytes: cfg.outran.header_bytes.max(5),
+                            promote_segments: cfg.outran.promote_segments,
+                            pushout: cfg.outran.pushout,
+                            ..AmConfig::default()
+                        })),
+                    },
+                    rlc_rx: match cfg.rlc_mode {
+                        RlcMode::Um => RlcRx::Um(UmRx::new(cfg.outran.reassembly_window)),
+                        RlcMode::Am => RlcRx::Am(AmRx::new(AmConfig::default())),
+                    },
+                    harq: outran_phy::harq::HarqQueue::new(cfg.harq.unwrap_or_default()),
+                    flows: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    /// Whether this UE's RLC/HARQ state can generate work this TTI.
+    pub fn has_radio_work(&self) -> bool {
+        if !self.harq.is_empty() || self.rlc_tx.has_work() {
+            return true;
+        }
+        if let RlcRx::Um(um) = &self.rlc_rx {
+            if um.pending() > 0 {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+// ---- typed inter-stage messages ----------------------------------------
+
+/// Per-TTI rate matrix adapter (subband-granular) for the scheduler.
+/// Reused across TTIs: the MAC stage rewrites only the rows whose
+/// content version moved.
+#[derive(Default)]
+pub struct TtiRates {
+    /// Per-(UE, subband) deliverable bits per RB this TTI.
+    pub per_ue_sb: Vec<f64>,
+    /// RB index → subband index.
+    pub rb_to_sb: Vec<usize>,
+    /// Subband count.
+    pub n_sb: usize,
+    /// UE count.
+    pub n_ues: usize,
+    /// RBs pre-empted by semi-persistent GBR grants this TTI: they read
+    /// as rate 0 to the dynamic scheduler, so every scheduler kind
+    /// respects the reservation without trait changes.
+    pub reserved: Vec<bool>,
+    /// Per-UE content version of the `per_ue_sb` row: the delivered CQI
+    /// report version doubled, plus one while the UE's link is down (a
+    /// zeroed row never aliases a live one). Schedulers key their metric
+    /// caches on this.
+    pub versions: Vec<u64>,
+}
+
+impl RateSource for TtiRates {
+    fn rate(&self, ue: usize, rb: u16) -> f64 {
+        if self.reserved[rb as usize] {
+            return 0.0;
+        }
+        self.per_ue_sb[ue * self.n_sb + self.rb_to_sb[rb as usize]]
+    }
+    fn n_rbs(&self) -> u16 {
+        self.rb_to_sb.len() as u16
+    }
+    fn n_ues(&self) -> usize {
+        self.n_ues
+    }
+    fn n_subbands(&self) -> usize {
+        self.n_sb
+    }
+    fn subband_of(&self, rb: u16) -> usize {
+        self.rb_to_sb[rb as usize]
+    }
+    fn rate_in_subband(&self, ue: usize, sb: usize) -> f64 {
+        self.per_ue_sb[ue * self.n_sb + sb]
+    }
+    fn rb_reserved(&self, rb: u16) -> bool {
+        self.reserved[rb as usize]
+    }
+    fn rates_version(&self, ue: usize) -> Option<u64> {
+        Some(self.versions[ue])
+    }
+}
+
+/// One downlink packet crossing the ingress → RLC boundary: everything
+/// the RLC-down stage needs to admit it, without reaching back into the
+/// ingress stage's flow table.
+pub struct SduIngress {
+    /// Flow index.
+    pub flow: usize,
+    /// Destination UE.
+    pub ue: usize,
+    /// PDCP five-tuple.
+    pub tuple: outran_pdcp::FiveTuple,
+    /// Byte offset of this packet within the flow.
+    pub seq: u64,
+    /// Packet length in bytes.
+    pub len: u32,
+    /// Oracle remaining flow size at this packet (SRJF priority input).
+    pub oracle_remaining: u64,
+}
+
+/// One air-interface delivery crossing the PHY → delivery boundary, in
+/// exact transmission order (the delivery stage replays the batch after
+/// the transmit loop finishes; effects within one TTI are
+/// order-preserving, so the replay is bit-identical to inline delivery).
+pub enum AirDelivery {
+    /// A UM segment that survived the air interface.
+    UmSeg {
+        /// Destination UE.
+        ue: usize,
+        /// The delivered segment.
+        seg: RlcSegment,
+    },
+    /// A batch of AM PDUs that survived the air interface.
+    AmPdus {
+        /// Destination UE.
+        ue: usize,
+        /// The delivered PDUs.
+        pdus: Vec<AmPdu>,
+    },
+    /// A HARQ-recovered transport block's payload.
+    Harq {
+        /// Destination UE.
+        ue: usize,
+        /// The recovered payload.
+        payload: HarqPayload,
+    },
+}

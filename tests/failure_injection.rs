@@ -47,7 +47,7 @@ fn survives_starved_buffer() {
         );
     }
     cell.run_until(Time::from_secs(40));
-    assert!(cell.buffer_drops > 0, "a 4-SDU buffer must drop");
+    assert!(cell.buffer_drops() > 0, "a 4-SDU buffer must drop");
     assert!(
         cell.n_completed() >= 5,
         "completed {}/6 with 4-SDU buffers",
