@@ -63,7 +63,14 @@ fn main() {
             (intensity, windows, r)
         },
     );
-    for (intensity, windows, r) in runs {
+    for res in runs {
+        let (intensity, windows, r) = match res {
+            Ok(point) => point,
+            Err(f) => {
+                eprintln!("chaos_soak: {f} — failing");
+                std::process::exit(1);
+            }
+        };
         let survival = if r.offered == 0 {
             100.0
         } else {

@@ -290,11 +290,13 @@ fn main() {
 
     if let Some(baseline) = baseline {
         let mut failed = false;
+        let mut gated = 0usize;
         for (name, _, _, tps) in &rows {
             let Some(base) = baseline_tps(&baseline, name) else {
                 eprintln!("  [throughput] {name}: no baseline entry, skipping");
                 continue;
             };
+            gated += 1;
             let floor = base * (1.0 - tolerance);
             let verdict = if *tps < floor { "REGRESSION" } else { "ok" };
             if *tps < floor {
@@ -305,6 +307,12 @@ fn main() {
                  (floor {floor:.0}) — {verdict}"
             );
         }
+        // A baseline that gates *nothing* is an unparseable baseline, not
+        // a pass — fail loudly instead of green-lighting by accident.
+        if gated == 0 {
+            eprintln!("throughput: baseline has no usable per-scheduler entries — wrong file?");
+            std::process::exit(2);
+        }
         if failed {
             eprintln!("throughput: regression beyond {:.0}%", tolerance * 100.0);
             std::process::exit(1);
@@ -314,7 +322,7 @@ fn main() {
             tolerance * 100.0
         );
     } else {
-        std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+        write_json("BENCH_2.json", &json);
         println!("{json}");
         eprintln!("  [throughput] wrote BENCH_2.json");
 
@@ -334,9 +342,19 @@ fn main() {
             std::process::exit(1);
         }
         let json3 = idle_heavy_json(&m);
-        std::fs::write("BENCH_3.json", &json3).expect("write BENCH_3.json");
+        write_json("BENCH_3.json", &json3);
         println!("{json3}");
         eprintln!("  [throughput] wrote BENCH_3.json");
+    }
+}
+
+/// Write a result file atomically (temp sibling + rename): an interrupted
+/// CI run leaves the previous baseline intact, never a torn JSON.
+fn write_json(path: &str, json: &str) {
+    if let Err(e) = outran_simcore::snap::write_atomic(std::path::Path::new(path), json.as_bytes())
+    {
+        eprintln!("throughput: cannot write {path}: {e}");
+        std::process::exit(2);
     }
 }
 

@@ -90,7 +90,18 @@ pub fn threads_from_args(args: &[String]) -> Option<usize> {
 pub fn run_avg(build: impl Fn(u64) -> Experiment + Sync, seeds: &[u64]) -> AvgReport {
     assert!(!seeds.is_empty());
     let runs = outran_ran::parallel_map(configured_threads(), seeds.to_vec(), |s| build(s).run());
-    average(runs)
+    average(expect_all(runs))
+}
+
+/// Unwrap supervised pool results. A figure point that failed even after
+/// the pool's deterministic retry would silently skew the published
+/// average, so the harness stops with the structured failure instead.
+fn expect_all(
+    runs: Vec<Result<ExperimentReport, outran_ran::WorkerFailure>>,
+) -> Vec<ExperimentReport> {
+    runs.into_iter()
+        .map(|r| r.unwrap_or_else(|f| panic!("figure job failed permanently: {f}")))
+        .collect()
 }
 
 /// Run every `(point, seed)` combination of a sweep grid across the
@@ -107,9 +118,11 @@ where
         .collect();
     let runs = {
         let points = &points;
-        outran_ran::parallel_map(configured_threads(), jobs, |(p, s)| {
-            build(&points[p], s).run()
-        })
+        expect_all(outran_ran::parallel_map(
+            configured_threads(),
+            jobs,
+            |(p, s)| build(&points[p], s).run(),
+        ))
     };
     let mut it = runs.into_iter();
     let n_seeds = seeds.len();

@@ -8,12 +8,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::{Path, PathBuf};
+
 use outran_core::OutRanConfig;
 use outran_faults::FaultPlan;
 use outran_mac::SrjfMode;
 use outran_phy::harq::HarqConfig;
 use outran_phy::Scenario;
+use outran_ran::checkpoint::{read_checkpoint, restore_cell};
 use outran_ran::{Experiment, ExperimentReport, RlcMode, SchedulerKind};
+use outran_simcore::snap::write_atomic;
 use outran_simcore::Dur;
 use outran_workload::FlowSizeDist;
 
@@ -25,9 +29,19 @@ USAGE:
   outran-sim [run] [FLAGS]      standard experiment report
   outran-sim chaos [FLAGS]      same run under a seeded fault plan, with
                                 invariant auditing and a recovery summary
+  outran-sim resume CKPT        continue a checkpointed run to completion;
+                                the experiment configuration is replayed
+                                from the argv embedded in the checkpoint,
+                                and the final report is bit-identical to
+                                the uninterrupted run
 
 CHAOS FLAGS:
   --intensity X   fault-plan density, 0 (none) to 1 (hostile)   [0.5]
+
+CHECKPOINT FLAGS (run and chaos; requires --reps 1):
+  --checkpoint-every N   write a crash-safe snapshot every N simulated
+                         seconds (atomic temp-file + rename)       [off]
+  --checkpoint-dir D     directory for ckpt-<secs>s.orsn files
 
 FLAGS (flag value  or  flag=value):
   --scheduler K   pf | mt | rr | bet | mlwdf | srjf | pss | cqa | outran | strict-mlfq
@@ -69,6 +83,8 @@ pub enum Command {
     Run,
     /// Experiment under a seeded chaos fault plan with auditing.
     Chaos,
+    /// Continue a checkpointed run from its snapshot.
+    Resume,
 }
 
 /// Parsed options.
@@ -120,6 +136,12 @@ pub struct Opts {
     pub cdf: Option<CdfSel>,
     /// Write per-flow records (size_bytes,fct_ms) to this CSV path.
     pub csv: Option<String>,
+    /// Checkpoint interval in simulated seconds (`--checkpoint-every`).
+    pub checkpoint_every: Option<u64>,
+    /// Directory checkpoints are written to (`--checkpoint-dir`).
+    pub checkpoint_dir: Option<String>,
+    /// Checkpoint file to resume from (the `resume` positional).
+    pub resume: Option<String>,
 }
 
 /// CDF selection for `--cdf`.
@@ -161,6 +183,9 @@ impl Default for Opts {
             threads: outran_ran::default_threads(),
             cdf: None,
             csv: None,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            resume: None,
         }
     }
 }
@@ -175,10 +200,22 @@ pub fn parse_args(args: &[String]) -> Result<Opts, String> {
             o.command = match first.as_str() {
                 "run" => Command::Run,
                 "chaos" => Command::Chaos,
+                "resume" => Command::Resume,
                 other => return Err(format!("unknown subcommand '{other}'")),
             };
             args = &args[1..];
         }
+    }
+    if o.command == Command::Resume {
+        // `resume` takes exactly one positional: the checkpoint path.
+        // Every experiment flag is replayed from the argv embedded in
+        // the checkpoint, so none are accepted here.
+        match args {
+            [path] => o.resume = Some(path.clone()),
+            [] => return Err("resume needs a checkpoint path".into()),
+            _ => return Err("resume takes exactly one argument (the checkpoint path)".into()),
+        }
+        return Ok(o);
     }
     let mut it = args.iter().peekable();
     // flag=value and flag value are both accepted.
@@ -261,6 +298,13 @@ pub fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--csv" => {
                 o.csv = Some(next_value(&mut it, flag, inline)?);
             }
+            "--checkpoint-every" => {
+                o.checkpoint_every =
+                    Some(parse_num(&next_value(&mut it, flag, inline)?, flag)? as u64);
+            }
+            "--checkpoint-dir" => {
+                o.checkpoint_dir = Some(next_value(&mut it, flag, inline)?);
+            }
             "--cdf" => {
                 o.cdf = Some(match next_value(&mut it, flag, inline)?.as_str() {
                     "short" => CdfSel::Short,
@@ -293,6 +337,15 @@ pub fn parse_args(args: &[String]) -> Result<Opts, String> {
     }
     if o.threads == 0 {
         return Err("--threads must be at least 1".into());
+    }
+    if o.checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be at least 1 second".into());
+    }
+    if o.checkpoint_every.is_some() != o.checkpoint_dir.is_some() {
+        return Err("--checkpoint-every and --checkpoint-dir must be given together".into());
+    }
+    if o.checkpoint_every.is_some() && o.reps > 1 {
+        return Err("checkpointing covers a single run; it cannot be combined with --reps".into());
     }
     Ok(o)
 }
@@ -332,6 +385,118 @@ fn parse_scenario(v: &str) -> Result<Scenario, String> {
     })
 }
 
+/// Reconstruct a canonical argv (program name included) that re-parses
+/// to the same experiment. This — not the raw process argv — is what
+/// gets embedded in checkpoints, so `resume` rebuilds the identical run
+/// regardless of which of the two flag grammars, orderings or defaults
+/// the original invocation used. `--reps`/`--threads` are omitted: a
+/// checkpoint captures exactly one run.
+pub fn canonical_argv(o: &Opts) -> Vec<String> {
+    let mut v = vec!["outran-sim".to_string()];
+    match o.command {
+        Command::Run | Command::Resume => v.push("run".into()),
+        Command::Chaos => {
+            v.push("chaos".into());
+            v.push(format!("--intensity={}", o.intensity));
+        }
+    }
+    v.push(format!("--scheduler={}", scheduler_token(o.scheduler)));
+    v.push(format!("--scenario={}", scenario_token(o.scenario)));
+    if let Some(d) = o.dist {
+        let tok = match d {
+            FlowSizeDist::LteCellular => "lte",
+            FlowSizeDist::MirageMobileApp => "mirage",
+            FlowSizeDist::Websearch => "websearch",
+            FlowSizeDist::Incast8k => "incast",
+        };
+        v.push(format!("--dist={tok}"));
+    }
+    v.push(format!("--users={}", o.users));
+    v.push(format!("--load={}", o.load));
+    v.push(format!("--secs={}", o.secs));
+    v.push(format!("--seed={}", o.seed));
+    v.push(format!(
+        "--rlc={}",
+        match o.rlc {
+            RlcMode::Um => "um",
+            RlcMode::Am => "am",
+        }
+    ));
+    v.push(format!("--buffer={}", o.buffer));
+    v.push(format!("--tf-ms={}", o.tf.as_millis()));
+    v.push(format!("--cn-ms={}", o.cn.as_millis()));
+    v.push(format!("--epsilon={}", o.epsilon));
+    if let Some(r) = o.reset {
+        v.push(format!("--reset-ms={}", r.as_millis()));
+    }
+    if o.harq {
+        v.push("--harq".into());
+    }
+    if o.dense {
+        v.push("--dense".into());
+    }
+    v.push(format!("--loss={}", o.loss));
+    v.push(format!(
+        "--srjf-mode={}",
+        match o.srjf_mode {
+            SrjfMode::Waterfall => "waterfall",
+            SrjfMode::WinnerOnly => "winner-only",
+            SrjfMode::WaterfallBacklog => "backlog",
+        }
+    ));
+    if let Some(sel) = o.cdf {
+        let tok = match sel {
+            CdfSel::Short => "short",
+            CdfSel::Medium => "medium",
+            CdfSel::Long => "long",
+            CdfSel::All => "all",
+        };
+        v.push(format!("--cdf={tok}"));
+    }
+    if let Some(p) = &o.csv {
+        v.push(format!("--csv={p}"));
+    }
+    // Keep checkpointing active across resumes: a soak that crashes
+    // twice resumes from its latest snapshot, not its first.
+    if let (Some(every), Some(dir)) = (o.checkpoint_every, &o.checkpoint_dir) {
+        v.push(format!("--checkpoint-every={every}"));
+        v.push(format!("--checkpoint-dir={dir}"));
+    }
+    v
+}
+
+fn scheduler_token(k: SchedulerKind) -> String {
+    match k {
+        SchedulerKind::Pf => "pf".into(),
+        SchedulerKind::Mt => "mt".into(),
+        SchedulerKind::Rr => "rr".into(),
+        SchedulerKind::Bet => "bet".into(),
+        SchedulerKind::Mlwdf => "mlwdf".into(),
+        SchedulerKind::Srjf => "srjf".into(),
+        SchedulerKind::Pss => "pss".into(),
+        SchedulerKind::Cqa => "cqa".into(),
+        SchedulerKind::OutRan => "outran".into(),
+        // `{}` on f64 prints the shortest string that parses back to the
+        // same bits, so the epsilon survives the argv roundtrip exactly.
+        SchedulerKind::OutRanEps(e) => format!("outran:{e}"),
+        SchedulerKind::StrictMlfq => "strict-mlfq".into(),
+        // Not reachable from parse_args (no CLI spelling exists); only
+        // library callers can construct it.
+        SchedulerKind::OutRanOverMt(_) => unreachable!("OutRanOverMt has no CLI flag"),
+    }
+}
+
+fn scenario_token(s: Scenario) -> String {
+    match s {
+        Scenario::LtePedestrian => "lte".into(),
+        Scenario::NrUrban(mu) => format!("nr{mu}"),
+        Scenario::ColosseumRome => "rome".into(),
+        Scenario::ColosseumBoston => "boston".into(),
+        Scenario::ColosseumPowder => "powder".into(),
+        Scenario::Testbed => "testbed".into(),
+    }
+}
+
 fn parse_num(v: &str, flag: &str) -> Result<usize, String> {
     v.parse().map_err(|_| format!("{flag}: bad number '{v}'"))
 }
@@ -346,6 +511,7 @@ pub fn run(o: &Opts) -> Result<(), String> {
     match o.command {
         Command::Run => run_standard(o),
         Command::Chaos => run_chaos(o),
+        Command::Resume => run_resume(o),
     }
 }
 
@@ -384,7 +550,69 @@ fn build_experiment(o: &Opts) -> Experiment {
     if o.harq {
         exp = exp.harq(Some(HarqConfig::default()));
     }
+    if let (Some(every), Some(dir)) = (o.checkpoint_every, &o.checkpoint_dir) {
+        exp = exp.checkpoint_every(Dur::from_secs(every), PathBuf::from(dir), canonical_argv(o));
+    }
     exp
+}
+
+/// [`build_experiment`] plus the chaos fault layer when the options ask
+/// for it — the one construction path shared by fresh runs and `resume`,
+/// so a resumed run is built from *exactly* the experiment its
+/// checkpoint was taken under.
+fn experiment_for(o: &Opts) -> Experiment {
+    let exp = build_experiment(o);
+    if o.command == Command::Chaos {
+        exp.faults(FaultPlan::chaos(
+            o.seed,
+            Dur::from_secs(o.secs),
+            o.users,
+            o.intensity,
+        ))
+        .watchdog(Some(Dur::from_millis(750)))
+    } else {
+        exp
+    }
+}
+
+fn run_resume(o: &Opts) -> Result<(), String> {
+    let path = o
+        .resume
+        .as_deref()
+        .ok_or("resume needs a checkpoint path")?;
+    let (meta, file) = read_checkpoint(Path::new(path))
+        .map_err(|e| format!("cannot read checkpoint '{path}': {e}"))?;
+    if meta.n_cells != 1 {
+        return Err(format!(
+            "checkpoint '{path}' holds {} cells; resume supports single-cell runs",
+            meta.n_cells
+        ));
+    }
+    let embedded: Vec<String> = meta.argv.iter().skip(1).cloned().collect();
+    let ro = parse_args(&embedded)
+        .map_err(|e| format!("embedded argv in '{path}' failed to parse: {e}"))?;
+    println!(
+        "resuming {path} at {} ({})",
+        meta.sim_time,
+        meta.argv.join(" ")
+    );
+    let exp = experiment_for(&ro);
+    let mut cell = exp.build_cell();
+    restore_cell(&file, 0, &mut cell)
+        .map_err(|e| format!("restoring '{path}' into the rebuilt cell failed: {e}"))?;
+    let mut r = exp.run_cell(cell);
+    print_report(&ro, &r);
+    if ro.command == Command::Chaos {
+        print_chaos_summary(&r);
+    }
+    finish_report(&ro, &mut r)?;
+    if ro.command == Command::Chaos && r.total_violations > 0 {
+        return Err(format!(
+            "{} invariant violation(s) detected",
+            r.total_violations
+        ));
+    }
+    Ok(())
 }
 
 fn run_standard(o: &Opts) -> Result<(), String> {
@@ -397,7 +625,7 @@ fn run_standard(o: &Opts) -> Result<(), String> {
     // seed order, so the output is reproducible regardless of thread
     // count or interleaving.
     let seeds: Vec<u64> = (0..o.reps as u64).map(|i| o.seed + i).collect();
-    let mut reports = outran_ran::parallel_map(o.threads, seeds.clone(), |s| {
+    let results = outran_ran::parallel_map(o.threads, seeds.clone(), |s| {
         build_experiment(&Opts {
             seed: s,
             ..o.clone()
@@ -411,10 +639,34 @@ fn run_standard(o: &Opts) -> Result<(), String> {
         o.seed + o.reps as u64 - 1,
         o.threads
     );
-    for (s, r) in seeds.iter().zip(&reports) {
+    // A rep that panicked (twice — the pool already retried it once) is
+    // reported and excluded from the averages; the sweep only fails when
+    // every rep died.
+    let mut reports: Vec<ExperimentReport> = Vec::with_capacity(results.len());
+    let mut failures = Vec::new();
+    for (s, res) in seeds.iter().zip(results) {
+        match res {
+            Ok(r) => {
+                println!(
+                    "  seed {s}: overall {:.1} ms  S p95 {:.1} ms  completed {}/{}",
+                    r.fct.overall_mean_ms, r.fct.short_p95_ms, r.completed, r.offered
+                );
+                reports.push(r);
+            }
+            Err(f) => {
+                eprintln!("warning: seed {s} failed: {f}");
+                failures.push(f);
+            }
+        }
+    }
+    if reports.is_empty() {
+        return Err(format!("all {} rep(s) failed", failures.len()));
+    }
+    if !failures.is_empty() {
         println!(
-            "  seed {s}: overall {:.1} ms  S p95 {:.1} ms  completed {}/{}",
-            r.fct.overall_mean_ms, r.fct.short_p95_ms, r.completed, r.offered
+            "averaging {} surviving rep(s); {} failed",
+            reports.len(),
+            failures.len()
         );
     }
     let mean = |f: &dyn Fn(&ExperimentReport) -> f64| -> f64 {
@@ -450,12 +702,22 @@ fn run_chaos(o: &Opts) -> Result<(), String> {
         plan.windows().len()
     );
     println!("{}", plan.describe());
-    let mut r = build_experiment(o)
-        .faults(plan)
-        .watchdog(Some(Dur::from_millis(750)))
-        .run();
+    let mut r = experiment_for(o).run();
     print_report(o, &r);
+    print_chaos_summary(&r);
+    finish_report(o, &mut r)?;
+    if r.total_violations > 0 {
+        return Err(format!(
+            "{} invariant violation(s) detected",
+            r.total_violations
+        ));
+    }
+    Ok(())
+}
 
+/// Fault/recovery summary printed after a chaos run (both when it ran
+/// start-to-finish and when it was resumed from a checkpoint).
+fn print_chaos_summary(r: &ExperimentReport) {
     println!(
         "residual losses: {}   flows evicted: {}",
         r.residual_losses, r.fault_stats.flows_evicted
@@ -476,14 +738,6 @@ fn run_chaos(o: &Opts) -> Result<(), String> {
     for v in &r.violations {
         println!("  violation: {v}");
     }
-    finish_report(o, &mut r)?;
-    if r.total_violations > 0 {
-        return Err(format!(
-            "{} invariant violation(s) detected",
-            r.total_violations
-        ));
-    }
-    Ok(())
 }
 
 /// The standard report lines shared by both subcommands.
@@ -523,7 +777,10 @@ fn finish_report(o: &Opts, r: &mut ExperimentReport) -> Result<(), String> {
         for (bytes, fct) in &r.flow_records {
             out.push_str(&format!("{bytes},{fct:.3}\n"));
         }
-        std::fs::write(path, out).map_err(|e| format!("csv write to '{path}' failed: {e}"))?;
+        // Atomic temp-file + rename: a crash mid-write leaves the
+        // previous export (or nothing), never a torn CSV.
+        write_atomic(Path::new(path), out.as_bytes())
+            .map_err(|e| format!("csv write to '{path}' failed: {e}"))?;
         println!("wrote {} flow records to {path}", r.flow_records.len());
     }
     if let Some(sel) = o.cdf {
@@ -662,8 +919,91 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_flag_validation() {
+        let o = parse("--checkpoint-every 2 --checkpoint-dir /tmp/ck").unwrap();
+        assert_eq!(o.checkpoint_every, Some(2));
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert!(parse("--checkpoint-every 2").is_err());
+        assert!(parse("--checkpoint-dir /tmp/ck").is_err());
+        assert!(parse("--checkpoint-every 0 --checkpoint-dir /tmp/ck").is_err());
+        assert!(parse("--checkpoint-every 2 --checkpoint-dir /tmp/ck --reps 3").is_err());
+    }
+
+    #[test]
+    fn resume_subcommand_parsing() {
+        let o = parse("resume /tmp/ck/ckpt-3s.orsn").unwrap();
+        assert_eq!(o.command, Command::Resume);
+        assert_eq!(o.resume.as_deref(), Some("/tmp/ck/ckpt-3s.orsn"));
+        assert!(parse("resume").is_err());
+        assert!(parse("resume a b").is_err());
+    }
+
+    #[test]
+    fn resume_missing_checkpoint_is_an_error() {
+        let o = parse("resume /nonexistent-dir/nope.orsn").unwrap();
+        let e = run(&o).unwrap_err();
+        assert!(e.contains("cannot read checkpoint"), "{e}");
+    }
+
+    #[test]
+    fn canonical_argv_roundtrips() {
+        for cmdline in [
+            "",
+            "run --users 8 --load 0.5 --secs 4 --seed 9 --rlc am --harq --dense",
+            "chaos --intensity 0.7 --scheduler outran:0.35 --scenario nr2 \
+             --dist websearch --reset-ms 500 --cdf short --csv /tmp/x.csv",
+            "--checkpoint-every 2 --checkpoint-dir /tmp/ck --secs 6",
+        ] {
+            let o = parse(cmdline).unwrap();
+            let argv = canonical_argv(&o);
+            assert_eq!(argv[0], "outran-sim");
+            let back = parse_args(&argv[1..]).unwrap();
+            // reps/threads are deliberately dropped from the canonical
+            // form; everything that shapes the experiment must survive.
+            let mut expect = o.clone();
+            expect.reps = 1;
+            expect.threads = Opts::default().threads;
+            assert_eq!(back, expect, "roundtrip diverged for '{cmdline}'");
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_then_resume_matches_uninterrupted() {
+        let dir = std::env::temp_dir().join(format!("outran-cli-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_str().unwrap();
+        let flags = "--users 4 --load 0.3 --secs 3 --scheduler pf --seed 5 --dense";
+        // Uninterrupted reference run.
+        let reference = build_experiment(&parse(flags).unwrap()).run();
+        // Checkpointed run, then resume from the mid-run snapshot.
+        let o = parse(&format!(
+            "{flags} --checkpoint-every 1 --checkpoint-dir {dirs}"
+        ))
+        .unwrap();
+        run(&o).unwrap();
+        let ckpt = dir.join("ckpt-2s.orsn");
+        assert!(ckpt.exists(), "expected mid-run checkpoint at {ckpt:?}");
+        let (meta, file) = read_checkpoint(&ckpt).unwrap();
+        let ro = parse_args(&meta.argv[1..]).unwrap();
+        let exp = experiment_for(&ro);
+        let mut cell = exp.build_cell();
+        restore_cell(&file, 0, &mut cell).unwrap();
+        let resumed = exp.run_cell(cell);
+        assert_eq!(
+            format!("{reference:?}"),
+            format!("{resumed:?}"),
+            "resumed report diverged from the uninterrupted run"
+        );
+        // The CLI path over the same checkpoint also succeeds.
+        run(&parse(&format!("resume {}", ckpt.display())).unwrap()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn csv_failure_is_an_error() {
-        let o = parse("--users 3 --load 0.3 --secs 1 --csv /nonexistent-dir/x.csv").unwrap();
+        // /dev/null is a file, so no directory can be created beneath it
+        // and the atomic write must fail cleanly.
+        let o = parse("--users 3 --load 0.3 --secs 1 --csv /dev/null/x.csv").unwrap();
         let e = run(&o).unwrap_err();
         assert!(e.contains("csv write"), "{e}");
     }

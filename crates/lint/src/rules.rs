@@ -32,6 +32,10 @@ pub enum RuleId {
     /// through the typed pipeline messages, never by reaching into
     /// another stage's struct.
     D8,
+    /// Stage struct fields not covered by the file's checkpoint
+    /// (`fn snap` / `fn load_snap`) impls: a field added to a stage but
+    /// forgotten in its snapshot silently diverges resumed runs.
+    D9,
     /// Suppression directive without a written reason.
     L100,
     /// Suppression directive naming an unknown rule.
@@ -43,7 +47,7 @@ pub enum RuleId {
 impl RuleId {
     /// All catalog rules (excludes the `L1xx` suppression-hygiene
     /// meta-rules, which are always on).
-    pub const CATALOG: [RuleId; 8] = [
+    pub const CATALOG: [RuleId; 9] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -52,6 +56,7 @@ impl RuleId {
         RuleId::D6,
         RuleId::D7,
         RuleId::D8,
+        RuleId::D9,
     ];
 
     /// Canonical name, e.g. `"D2"`.
@@ -65,6 +70,7 @@ impl RuleId {
             RuleId::D6 => "D6",
             RuleId::D7 => "D7",
             RuleId::D8 => "D8",
+            RuleId::D9 => "D9",
             RuleId::L100 => "L100",
             RuleId::L101 => "L101",
             RuleId::L102 => "L102",
@@ -82,6 +88,7 @@ impl RuleId {
             "D6" => Some(RuleId::D6),
             "D7" => Some(RuleId::D7),
             "D8" => Some(RuleId::D8),
+            "D9" => Some(RuleId::D9),
             "L100" => Some(RuleId::L100),
             "L101" => Some(RuleId::L101),
             "L102" => Some(RuleId::L102),
@@ -594,6 +601,12 @@ pub fn analyze_masked(
         d8_stage_fields(rel, masked, &mut raw);
     }
 
+    // D9 — every stage-struct field must be covered by the file's
+    // snapshot impls.
+    if on(RuleId::D9) && rel.starts_with("crates/ran/src/stages/") {
+        d9_snapshot_coverage(rel, masked, &mut raw);
+    }
+
     // Apply suppressions.
     for d in raw {
         let mut suppressed = false;
@@ -740,6 +753,166 @@ fn d8_stage_fields(rel: &str, masked: &MaskedFile, raw: &mut Vec<Diagnostic>) {
             j += 1;
             if j >= n {
                 i = n;
+            }
+        }
+    }
+}
+
+/// D9: every named field of a `*Stage` struct must be mentioned inside
+/// the file's `fn snap` / `fn load_snap` bodies. Checkpoint/resume is
+/// bit-exact only while the snapshot layer covers the complete dynamic
+/// state; a field added to a stage but forgotten in its snapshot
+/// restores stale and silently diverges resumed runs. Fields that are
+/// deliberately re-derived (config echoes, per-TTI scratch) carry a D9
+/// suppression directive with a reason on their declaration line. A
+/// stage struct in a file with no snapshot impl at
+/// all is reported once at its declaration.
+fn d9_snapshot_coverage(rel: &str, masked: &MaskedFile, raw: &mut Vec<Diagnostic>) {
+    let n = masked.code.len();
+
+    // Collect the bodies of every `fn snap` / `fn load_snap` (brace
+    // walk from the declaration's opening `{`).
+    let mut snap_body: Vec<String> = Vec::new();
+    let mut has_snap_fn = false;
+    let mut i = 0;
+    while i < n {
+        let line = &masked.code[i];
+        let is_snap_decl = find_word(line, "fn").iter().any(|&at| {
+            let rest = line[at + 2..].trim_start();
+            rest.starts_with("snap(") || rest.starts_with("load_snap(")
+        });
+        if !is_snap_decl {
+            i += 1;
+            continue;
+        }
+        has_snap_fn = true;
+        // Find the opening brace (may sit on a later line after a
+        // multi-line signature), then walk to its match.
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut j = i;
+        while j < n {
+            for c in masked.code[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened {
+                snap_body.push(masked.code[j].clone());
+            }
+            if opened && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+
+    // Walk `*Stage` struct declarations and their named fields.
+    let mut i = 0;
+    while i < n {
+        let line = &masked.code[i];
+        let Some(kw) = find_word(line, "struct").into_iter().next() else {
+            i += 1;
+            continue;
+        };
+        let rest = line[kw + "struct".len()..].trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() || !name.ends_with("Stage") {
+            i += 1;
+            continue;
+        }
+        // Locate the `{` opening the field block (`;`/`(` structs have
+        // no named fields to cover).
+        let mut opener: Option<(usize, usize)> = None;
+        'scan: for j in i..n {
+            let start = if j == i { kw } else { 0 };
+            for (off, c) in masked.code[j][start..].char_indices() {
+                match c {
+                    '{' => {
+                        opener = Some((j, start + off));
+                        break 'scan;
+                    }
+                    '(' | ';' => break 'scan,
+                    _ => {}
+                }
+            }
+        }
+        let Some((open_idx, open_off)) = opener else {
+            i += 1;
+            continue;
+        };
+        let mut fields: Vec<(String, usize)> = Vec::new();
+        let mut depth = 0i32;
+        let mut j = open_idx;
+        'body: while j < n {
+            let start = if j == open_idx { open_off } else { 0 };
+            let text = &masked.code[j][start..];
+            if depth == 1 {
+                if let Some((head, _)) = text.trim_start().split_once(':') {
+                    // Guard against `::` paths and expression lines:
+                    // a field head is identifiers/visibility only.
+                    if !head.contains('(') || head.trim_start().starts_with("pub(") {
+                        if let Some(id) = last_ident(head.trim_end()) {
+                            fields.push((id, j + 1));
+                        }
+                    }
+                }
+            }
+            for (off, c) in text.char_indices() {
+                if c == '{' {
+                    depth += 1;
+                } else if c == '}' {
+                    depth -= 1;
+                    if depth == 0 {
+                        i = j + 1;
+                        break 'body;
+                    }
+                }
+                let _ = off;
+            }
+            j += 1;
+            if j >= n {
+                i = n;
+                break;
+            }
+        }
+        if fields.is_empty() {
+            continue;
+        }
+        if !has_snap_fn {
+            raw.push(Diagnostic {
+                path: rel.to_string(),
+                line: open_idx + 1,
+                rule: RuleId::D9,
+                message: format!(
+                    "stage struct `{name}` has no `fn snap`/`fn load_snap` in this file; \
+                     stages must be checkpointable (see checkpoint.rs)"
+                ),
+            });
+            continue;
+        }
+        for (field, line_no) in fields {
+            let covered = snap_body.iter().any(|l| !find_word(l, &field).is_empty());
+            if !covered {
+                raw.push(Diagnostic {
+                    path: rel.to_string(),
+                    line: line_no,
+                    rule: RuleId::D9,
+                    message: format!(
+                        "field `{field}` of stage struct `{name}` is not covered by the \
+                         snapshot impls; serialize it in snap/load_snap, or suppress with \
+                         a reason why restore re-derives it"
+                    ),
+                });
             }
         }
     }

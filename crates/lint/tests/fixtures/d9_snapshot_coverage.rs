@@ -1,0 +1,28 @@
+// D9 fixture: stage-struct fields must be covered by the file's
+// snap/load_snap impls.
+struct CoveredStage {
+    written: u64,
+    forgotten: u64,
+    also_written: u64,
+    scratch: Vec<u64>, // outran-lint: allow(D9) -- per-TTI scratch, never read across TTIs
+}
+
+impl CoveredStage {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.written);
+    }
+
+    fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.written = r.u64()?;
+        self.also_written = r.u64()?;
+        Ok(())
+    }
+}
+
+struct OrphanStage {
+    state: u64,
+}
+
+struct PlainHelper {
+    ignored: u64,
+}

@@ -129,7 +129,18 @@ fn d7_missing_forbid_fires_on_crate_roots_only() {
 
 #[test]
 fn d8_stage_pub_fields_fire() {
-    let got = run_at("crates/ran/src/stages/fixture.rs", "d8_stage_fields.rs");
+    // Scope to D8 only: the fixture's stage structs have no snapshot
+    // impls, so the full catalog would also raise D9 on them.
+    let src = fixture("d8_stage_fields.rs");
+    let got: Vec<(usize, RuleId)> = analyze_source(
+        "crates/ran/src/stages/fixture.rs",
+        &src,
+        &[RuleId::D8],
+        false,
+    )
+    .into_iter()
+    .map(|d| (d.line, d.rule))
+    .collect();
     assert_eq!(got, vec![(4, RuleId::D8), (5, RuleId::D8), (9, RuleId::D8)]);
 }
 
@@ -138,6 +149,35 @@ fn d8_is_scoped_to_stage_files() {
     let src = fixture("d8_stage_fields.rs");
     assert!(analyze_source("crates/ran/src/cell.rs", &src, &[RuleId::D8], false).is_empty());
     assert!(analyze_source("crates/mac/src/lib.rs", &src, &[RuleId::D8], false).is_empty());
+}
+
+#[test]
+fn d9_snapshot_coverage_fires() {
+    let got = run_at(
+        "crates/ran/src/stages/fixture.rs",
+        "d9_snapshot_coverage.rs",
+    );
+    assert_eq!(got, vec![(5, RuleId::D9), (23, RuleId::D9)]);
+}
+
+#[test]
+fn d9_flags_stage_file_with_no_snapshot_impl() {
+    let src = "struct LonelyStage {\n    state: u64,\n}\n";
+    let got = analyze_source("crates/ran/src/stages/x.rs", src, &[RuleId::D9], false);
+    assert_eq!(got.len(), 1);
+    assert_eq!((got[0].line, got[0].rule), (1, RuleId::D9));
+    assert!(
+        got[0].message.contains("no `fn snap`"),
+        "{}",
+        got[0].message
+    );
+}
+
+#[test]
+fn d9_is_scoped_to_stage_files() {
+    let src = fixture("d9_snapshot_coverage.rs");
+    assert!(analyze_source("crates/ran/src/cell.rs", &src, &[RuleId::D9], false).is_empty());
+    assert!(analyze_source("crates/rlc/src/lib.rs", &src, &[RuleId::D9], false).is_empty());
 }
 
 #[test]

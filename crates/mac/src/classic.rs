@@ -5,7 +5,7 @@
 
 use outran_simcore::{Dur, Ewma, Time};
 
-use crate::types::{Allocation, RateSource, Scheduler, UeTti};
+use crate::types::{Allocation, RateSource, Scheduler, SnapError, SnapReader, SnapWriter, UeTti};
 
 /// Blind Equal Throughput: metric `1 / r̃_u` — equalises *throughput*
 /// across users regardless of channel (unlike PF, which equalises a
@@ -67,6 +67,19 @@ impl Scheduler for BetScheduler {
 
     fn name(&self) -> &'static str {
         "BET"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.seq(self.avg.iter(), |w, e| e.snap(w));
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let avg = r.seq(Ewma::unsnap)?;
+        if avg.len() != self.avg.len() {
+            return Err(SnapError::Malformed("BET UE count mismatch"));
+        }
+        self.avg = avg;
+        Ok(())
     }
 }
 
@@ -143,6 +156,20 @@ impl Scheduler for MlwdfScheduler {
 
     fn name(&self) -> &'static str {
         "M-LWDF"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // `weight` is config-derived; only the averages move.
+        w.seq(self.avg.iter(), |w, e| e.snap(w));
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let avg = r.seq(Ewma::unsnap)?;
+        if avg.len() != self.avg.len() {
+            return Err(SnapError::Malformed("M-LWDF UE count mismatch"));
+        }
+        self.avg = avg;
+        Ok(())
     }
 }
 

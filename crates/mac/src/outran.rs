@@ -21,7 +21,7 @@ use outran_simcore::{Dur, Time};
 
 use crate::cache::{allocate_by_subband, SubbandMetricCache};
 use crate::pf::PfCore;
-use crate::types::{Allocation, RateSource, Scheduler, UeTti};
+use crate::types::{Allocation, RateSource, Scheduler, SnapError, SnapReader, SnapWriter, UeTti};
 
 /// The legacy metric OutRAN relaxes.
 #[derive(Debug, Clone)]
@@ -172,6 +172,21 @@ impl Scheduler for OutRanScheduler {
 
     fn name(&self) -> &'static str {
         "OutRAN"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        // The base variant and epsilon come from the run config; only the
+        // PF core (if any) carries dynamic state.
+        if let BaseMetric::Pf(core) = &self.base {
+            core.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if let BaseMetric::Pf(core) = &mut self.base {
+            core.load_state(r)?;
+        }
+        Ok(())
     }
 }
 

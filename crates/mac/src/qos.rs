@@ -20,7 +20,7 @@
 use outran_simcore::{Dur, Time};
 
 use crate::pf::PfCore;
-use crate::types::{Allocation, RateSource, Scheduler, UeTti};
+use crate::types::{Allocation, RateSource, Scheduler, SnapError, SnapReader, SnapWriter, UeTti};
 
 /// Shared QoS parameters for the baselines.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +112,14 @@ impl Scheduler for PssScheduler {
     fn name(&self) -> &'static str {
         "PSS"
     }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.core.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.core.load_state(r)
+    }
 }
 
 /// Channel & QoS Aware scheduler.
@@ -175,6 +183,14 @@ impl Scheduler for CqaScheduler {
 
     fn name(&self) -> &'static str {
         "CQA"
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.core.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.core.load_state(r)
     }
 }
 

@@ -169,7 +169,25 @@ pub trait Scheduler {
 
     /// Scheduler name for reports.
     fn name(&self) -> &'static str;
+
+    /// Serialize the scheduler's dynamic state for checkpointing.
+    /// Stateless schedulers (the default) write nothing. Configuration
+    /// (window lengths, epsilon, QoS params) is not written — the restore
+    /// path reconstructs the scheduler from the run config first, then
+    /// overlays this state via [`Scheduler::load_state`].
+    fn save_state(&self, w: &mut SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restore the dynamic state written by [`Scheduler::save_state`]
+    /// into a scheduler freshly built from the same run configuration.
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
+
+pub use outran_simcore::snap::{SnapError, SnapReader, SnapWriter};
 
 #[cfg(test)]
 mod tests {

@@ -442,6 +442,80 @@ pub fn ue_index(id: UeId) -> usize {
     id.0 as usize
 }
 
+use outran_simcore::snap::{SnapError, SnapReader, SnapWriter};
+
+impl UeChannelState {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.walker.snap(w);
+        self.fading.snap(w);
+        w.f64(self.shadow_db);
+        w.seq(self.reported.iter(), |w, c| w.u8(c.0));
+        w.u64(self.reported_rev);
+        w.seq(self.pending.iter(), |w, c| w.u8(c.0));
+        w.bool(self.pending_fresh);
+        w.time(self.pending_due);
+        w.time(self.next_report_at);
+        self.rng.snap(w);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<UeChannelState, SnapError> {
+        Ok(UeChannelState {
+            walker: RandomWalk::unsnap(r)?,
+            fading: FadingProcess::unsnap(r)?,
+            shadow_db: r.f64()?,
+            reported: r.seq(|r| Ok(Cqi(r.u8()?)))?,
+            reported_rev: r.u64()?,
+            pending: r.seq(|r| Ok(Cqi(r.u8()?)))?,
+            pending_fresh: r.bool()?,
+            pending_due: r.time()?,
+            next_report_at: r.time()?,
+            rng: Rng::unsnap(r)?,
+        })
+    }
+}
+
+impl CellChannel {
+    /// Serialize the dynamic channel state (checkpointing). The
+    /// configuration and derived layout (`cfg`, `rbs_per_subband`) are
+    /// re-established by constructing the channel from the run config
+    /// before [`CellChannel::load_snap`].
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.seq(self.ues.iter(), |w, u| u.snap(w));
+        w.u64(self.tti_index);
+        w.seq(self.dist_since_shadow.iter(), |w, &d| w.f64(d));
+        w.seq(self.cqi_frozen.iter(), |w, &b| w.bool(b));
+        w.seq(self.cqi_corrupt.iter(), |w, &b| w.bool(b));
+        w.u64(self.cqi_frozen_reports);
+        w.u64(self.cqi_corrupted_reports);
+    }
+
+    /// Overwrite this channel's dynamic state from [`CellChannel::snap`]
+    /// output. The channel must have been constructed with the same
+    /// configuration (UE count is checked).
+    pub fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let ues = r.seq(UeChannelState::unsnap)?;
+        if ues.len() != self.ues.len() {
+            return Err(SnapError::Malformed(
+                "UE count mismatch in channel snapshot",
+            ));
+        }
+        self.ues = ues;
+        self.tti_index = r.u64()?;
+        self.dist_since_shadow = r.seq(|r| r.f64())?;
+        self.cqi_frozen = r.seq(|r| r.bool())?;
+        self.cqi_corrupt = r.seq(|r| r.bool())?;
+        if self.dist_since_shadow.len() != self.ues.len()
+            || self.cqi_frozen.len() != self.ues.len()
+            || self.cqi_corrupt.len() != self.ues.len()
+        {
+            return Err(SnapError::Malformed("per-UE vector length mismatch"));
+        }
+        self.cqi_frozen_reports = r.u64()?;
+        self.cqi_corrupted_reports = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,6 +33,7 @@ use crate::stages::{
 use outran_faults::{AuditSnapshot, ByteLedger, FaultStats, InvariantAuditor, Violation};
 use outran_metrics::{CellMetrics, FctCollector};
 use outran_pdcp::FiveTuple;
+use outran_simcore::snap::{SnapError, SnapReader, SnapWriter};
 use outran_simcore::{Dur, Rng, Time};
 
 /// The single-cell simulator: the orchestrator of the staged pipeline.
@@ -578,6 +579,60 @@ impl Cell {
     #[doc(hidden)]
     pub fn priority_resets(&self) -> Option<u64> {
         self.hk.priority_resets()
+    }
+
+    /// Serialize the cell's full dynamic state (checkpointing): the
+    /// clock, every per-UE context, all six pipeline stages and the
+    /// collectors. The configuration and the TTI length are *not*
+    /// written — restore is construct-then-overlay: build the cell from
+    /// the identical [`CellConfig`], then [`Cell::load_snap`] the
+    /// dynamic state on top. The pipeline observer is runtime-only
+    /// wiring and does not travel.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.time(self.now);
+        w.seq(self.ues.iter(), |w, u| u.snap(w));
+        self.ingress.snap(w);
+        self.rlc_down.snap(w);
+        self.mac.snap(w);
+        self.phy.snap(w);
+        self.delivery.snap(w);
+        self.hk.snap(w);
+        self.gbr_latency.snap(w);
+        self.fct.snap(w);
+        self.metrics.snap(w);
+        w.u64(self.idle_ttis);
+        w.u64(self.skipped_ttis);
+        w.u64(self.pending_idle);
+    }
+
+    /// Overlay checkpointed state from [`Cell::snap`] output onto a
+    /// cell freshly built from the *same* configuration. After this, the
+    /// cell continues bit-identically to the one that was snapshotted —
+    /// in both dense and event-driven stepping.
+    pub fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = r.time()?;
+        let n_ues = r.usize()?;
+        if n_ues != self.ues.len() {
+            return Err(SnapError::Malformed(
+                "UE count disagrees with configuration",
+            ));
+        }
+        for ue in &mut self.ues {
+            ue.load_snap(&self.cfg, r)?;
+        }
+        self.ingress.load_snap(&self.cfg, r)?;
+        self.rlc_down.load_snap(r)?;
+        self.mac.load_snap(r)?;
+        self.phy.load_snap(r)?;
+        self.delivery.load_snap(r)?;
+        self.hk.load_snap(r)?;
+        self.gbr_latency = outran_simcore::Percentiles::unsnap(r)?;
+        self.fct = FctCollector::unsnap(r)?;
+        self.metrics.load_snap(r)?;
+        self.idle_ttis = r.u64()?;
+        self.skipped_ttis = r.u64()?;
+        self.pending_idle = r.u64()?;
+        Ok(())
     }
 
     /// Diagnostics helper: dump stalled-flow state (for debugging only).

@@ -1,0 +1,223 @@
+//! Crash-safe checkpoint files for long-horizon runs.
+//!
+//! A checkpoint is a [`SnapshotFile`] (magic, format version, per-section
+//! digests — see `outran_simcore::snap`) holding:
+//!
+//! * a `meta` section — the original CLI argv (so `resume` can rebuild
+//!   the *identical* experiment configuration), the simulation instant
+//!   of the snapshot, the stepping mode and the cell count;
+//! * one `cell.<i>` section per cell — the full dynamic state captured
+//!   by [`Cell::snap`].
+//!
+//! Restore is construct-then-overlay: rebuild each [`Cell`] from the run
+//! configuration (construction draws the same RNG forks), then overlay
+//! the checkpointed dynamic state with [`Cell::load_snap`]. A resumed
+//! run is bit-identical to an uninterrupted one — the golden-digest
+//! tests in `crates/ran/tests/checkpoint_resume.rs` prove it in both
+//! stepping modes with chaos faults active.
+//!
+//! Persistence is atomic: the file is written to a temp sibling and
+//! renamed into place, so a crash mid-write leaves either the previous
+//! checkpoint or none — never a torn one.
+
+use std::path::Path;
+
+use outran_simcore::snap::{write_atomic, SnapError, SnapReader, SnapWriter, SnapshotFile};
+use outran_simcore::Time;
+
+use crate::cell::Cell;
+
+/// Everything `resume` needs to rebuild the run around the cell state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// The original process argv (program name included), replayed by
+    /// `outran-sim resume` to reconstruct the experiment configuration.
+    pub argv: Vec<String>,
+    /// Simulation instant the snapshot was taken at (a whole-second
+    /// epoch boundary).
+    pub sim_time: Time,
+    /// Whether the run used dense per-TTI stepping (`false` =
+    /// event-driven). Recorded for diagnostics; both modes restore from
+    /// the same state and stay bit-identical.
+    pub dense: bool,
+    /// Number of `cell.<i>` sections present.
+    pub n_cells: usize,
+}
+
+impl CheckpointMeta {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.seq(self.argv.iter(), |w, a| w.str(a));
+        w.time(self.sim_time);
+        w.bool(self.dense);
+        w.usize(self.n_cells);
+    }
+
+    fn unsnap(r: &mut SnapReader<'_>) -> Result<CheckpointMeta, SnapError> {
+        Ok(CheckpointMeta {
+            argv: r.seq(|r| r.str())?,
+            sim_time: r.time()?,
+            dense: r.bool()?,
+            n_cells: r.usize()?,
+        })
+    }
+}
+
+/// Name of cell section `i`.
+fn cell_section(i: usize) -> String {
+    format!("cell.{i}")
+}
+
+/// Assemble a checkpoint from `meta` and the cells' dynamic state.
+pub fn snapshot_cells(meta: &CheckpointMeta, cells: &[&Cell]) -> SnapshotFile {
+    debug_assert_eq!(meta.n_cells, cells.len());
+    let mut f = SnapshotFile::new();
+    let mut w = SnapWriter::new();
+    meta.snap(&mut w);
+    f.add("meta", w);
+    for (i, cell) in cells.iter().enumerate() {
+        let mut w = SnapWriter::new();
+        cell.snap(&mut w);
+        f.add(&cell_section(i), w);
+    }
+    f
+}
+
+/// [`snapshot_cells`] for the common single-cell run.
+pub fn snapshot_cell(meta: &CheckpointMeta, cell: &Cell) -> SnapshotFile {
+    snapshot_cells(meta, &[cell])
+}
+
+/// Write a checkpoint to `path` atomically (temp sibling + rename).
+pub fn write_checkpoint(
+    path: &Path,
+    meta: &CheckpointMeta,
+    cells: &[&Cell],
+) -> Result<(), SnapError> {
+    let file = snapshot_cells(meta, cells);
+    write_atomic(path, &file.to_bytes())
+}
+
+/// Read a checkpoint file and decode its `meta` section (sections are
+/// digest-verified on read; corruption surfaces as
+/// [`SnapError::DigestMismatch`], truncation as [`SnapError::Truncated`]).
+pub fn read_checkpoint(path: &Path) -> Result<(CheckpointMeta, SnapshotFile), SnapError> {
+    let file = SnapshotFile::read_file(path)?;
+    let meta = read_meta(&file)?;
+    Ok((meta, file))
+}
+
+/// Decode the `meta` section of an already-loaded checkpoint.
+pub fn read_meta(file: &SnapshotFile) -> Result<CheckpointMeta, SnapError> {
+    let mut r = SnapReader::new(file.section("meta")?);
+    let meta = CheckpointMeta::unsnap(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(SnapError::Malformed("trailing bytes in meta section"));
+    }
+    Ok(meta)
+}
+
+/// Overlay checkpointed state for cell `i` onto a cell freshly built
+/// from the same configuration the snapshot was taken under.
+pub fn restore_cell(file: &SnapshotFile, i: usize, cell: &mut Cell) -> Result<(), SnapError> {
+    let mut r = SnapReader::new(file.section(&cell_section(i))?);
+    cell.load_snap(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(SnapError::Malformed("trailing bytes in cell section"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellConfig, SchedulerKind};
+    use outran_simcore::Dur;
+
+    fn tiny_cell() -> Cell {
+        let mut cell = Cell::new(CellConfig::lte_default(2, SchedulerKind::OutRan, 7));
+        cell.schedule_flow(Time::from_millis(1), 0, 40_000, None);
+        cell.schedule_flow(Time::from_millis(3), 1, 8_000, None);
+        cell
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let meta = CheckpointMeta {
+            argv: vec![
+                "outran-sim".into(),
+                "run".into(),
+                "--load".into(),
+                "0.6".into(),
+            ],
+            sim_time: Time::from_secs(3),
+            dense: false,
+            n_cells: 1,
+        };
+        let mut w = SnapWriter::new();
+        meta.snap(&mut w);
+        let bytes = w.into_bytes();
+        let back = CheckpointMeta::unsnap(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn cell_snapshot_roundtrip_is_bit_identical() {
+        let mut a = tiny_cell();
+        a.run_until(Time::from_secs(1));
+        let meta = CheckpointMeta {
+            argv: vec!["test".into()],
+            sim_time: a.now(),
+            dense: false,
+            n_cells: 1,
+        };
+        let file = snapshot_cell(&meta, &a);
+        let bytes = file.to_bytes();
+        let back = SnapshotFile::from_bytes(&bytes).unwrap();
+        let mut b = tiny_cell();
+        restore_cell(&back, 0, &mut b).unwrap();
+        // Continue both sides and compare final state snapshots.
+        a.run_until(Time::from_secs(6));
+        b.run_until(Time::from_secs(6));
+        let fa = snapshot_cell(&meta, &a);
+        let fb = snapshot_cell(&meta, &b);
+        assert_eq!(fa.digest(), fb.digest(), "diverged after restore");
+        assert_eq!(a.n_completed(), b.n_completed());
+    }
+
+    #[test]
+    fn atomic_write_then_read_back() {
+        let dir = std::env::temp_dir().join(format!("outran-ckpt-test-{}", std::process::id()));
+        let path = dir.join("t.ckpt");
+        let mut cell = tiny_cell();
+        cell.run_until_dense(Time::from_millis(500));
+        let meta = CheckpointMeta {
+            argv: vec!["x".into()],
+            sim_time: cell.now(),
+            dense: true,
+            n_cells: 1,
+        };
+        write_checkpoint(&path, &meta, &[&cell]).unwrap();
+        let (back_meta, file) = read_checkpoint(&path).unwrap();
+        assert_eq!(back_meta, meta);
+        let mut fresh = tiny_cell();
+        restore_cell(&file, 0, &mut fresh).unwrap();
+        assert_eq!(fresh.now(), cell.now());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_into_wrong_config_is_an_error() {
+        let cell = tiny_cell();
+        let meta = CheckpointMeta {
+            argv: vec!["x".into()],
+            sim_time: Time::ZERO,
+            dense: false,
+            n_cells: 1,
+        };
+        let file = snapshot_cell(&meta, &cell);
+        // Different UE count must be rejected, not mis-restored.
+        let mut wrong = Cell::new(CellConfig::lte_default(3, SchedulerKind::OutRan, 7));
+        assert!(restore_cell(&file, 0, &mut wrong).is_err());
+        let _ = Dur::ZERO;
+    }
+}

@@ -5,6 +5,8 @@
 //! run for a horizon, report FCT buckets + spectral efficiency +
 //! fairness. Every figure's bench binary is a thin loop over this type.
 
+use std::path::PathBuf;
+
 use outran_core::OutRanConfig;
 use outran_faults::{FaultPlan, FaultStats, Violation};
 use outran_phy::Scenario;
@@ -13,6 +15,7 @@ use outran_transport::TcpConfig;
 use outran_workload::{FlowSizeDist, PoissonFlowGen};
 
 use crate::cell::{Cell, CellConfig, RlcMode, SchedulerKind};
+use crate::checkpoint::{write_checkpoint, CheckpointMeta};
 
 /// Builder for a standard Poisson-load cell experiment.
 #[derive(Debug, Clone)]
@@ -38,6 +41,12 @@ pub struct Experiment {
     watchdog: Option<Dur>,
     max_flow_entries: Option<usize>,
     dense: bool,
+    /// Periodic checkpointing: every `0` of simulated time, write a
+    /// crash-safe snapshot into `1` (see [`crate::checkpoint`]).
+    checkpoint: Option<(Dur, PathBuf)>,
+    /// Original argv embedded in checkpoint metadata so `resume` can
+    /// rebuild the identical experiment.
+    checkpoint_argv: Vec<String>,
 }
 
 impl Experiment {
@@ -66,6 +75,8 @@ impl Experiment {
             watchdog: None,
             max_flow_entries: None,
             dense: false,
+            checkpoint: None,
+            checkpoint_argv: Vec::new(),
         }
     }
 
@@ -198,6 +209,17 @@ impl Experiment {
         self
     }
 
+    /// Write a crash-safe checkpoint into `dir` every `every` of
+    /// *simulated* time (rounded up to whole-second epoch boundaries).
+    /// `argv` is embedded in the checkpoint metadata so
+    /// `outran-sim resume <ckpt>` can rebuild the identical experiment.
+    pub fn checkpoint_every(mut self, every: Dur, dir: PathBuf, argv: Vec<String>) -> Self {
+        assert!(every > Dur::ZERO, "checkpoint interval must be positive");
+        self.checkpoint = Some((every, dir));
+        self.checkpoint_argv = argv;
+        self
+    }
+
     /// Estimated cell capacity in bit/s under the scenario's peak MCS,
     /// derated for typical channel conditions — the anchor for the
     /// load→arrival-rate conversion.
@@ -213,8 +235,12 @@ impl Experiment {
         ch.radio.peak_rate_bps(peak_bits_per_re) * derate
     }
 
-    /// Build the cell + arrivals and run to completion.
-    pub fn run(self) -> ExperimentReport {
+    /// Build the configured cell with every Poisson arrival scheduled
+    /// up-front, ready to advance. Used by [`Experiment::run`] and by
+    /// checkpoint restore (construct-then-overlay: a restored run
+    /// rebuilds this exact cell, then overlays the snapshot's dynamic
+    /// state with [`Cell::load_snap`]).
+    pub fn build_cell(&self) -> Cell {
         let mut cfg = CellConfig::lte_default(self.n_ues, self.scheduler, self.seed);
         cfg.channel = self.scenario.channel_config();
         cfg.tf = self.tf;
@@ -230,7 +256,6 @@ impl Experiment {
         cfg.watchdog = self.watchdog;
         cfg.max_flow_entries = self.max_flow_entries;
         let mut cell = Cell::new(cfg);
-
         let mut gen = PoissonFlowGen::new(
             self.dist,
             self.load,
@@ -238,18 +263,66 @@ impl Experiment {
             self.n_ues,
             Rng::new(self.seed ^ 0xA11CE),
         );
-        let warmup_end = Time::ZERO + self.warmup;
         for a in gen.take_until(self.duration) {
             cell.schedule_flow(a.at, a.ue, a.bytes, None);
         }
+        cell
+    }
+
+    /// Advance `cell` to `to` in the configured stepping mode.
+    fn advance(&self, cell: &mut Cell, to: Time) {
+        if self.dense {
+            cell.run_until_dense(to);
+        } else {
+            cell.run_until(to);
+        }
+    }
+
+    /// Build the cell + arrivals and run to completion.
+    pub fn run(self) -> ExperimentReport {
+        let cell = self.build_cell();
+        self.run_cell(cell)
+    }
+
+    /// Run an already-built (or checkpoint-restored) cell from its
+    /// current clock to the end of the drain window, then assemble the
+    /// report. With checkpointing configured, the horizon is walked in
+    /// whole-second epochs and a snapshot is written atomically at every
+    /// interval boundary — the chunked walk is bit-identical to one
+    /// `run_until` call, since both stepping loops only ever advance one
+    /// TTI at a time. A checkpoint write failure is reported to stderr
+    /// and the run continues: losing a checkpoint must not kill a soak.
+    pub fn run_cell(self, mut cell: Cell) -> ExperimentReport {
+        let warmup_end = Time::ZERO + self.warmup;
         // Run past the horizon to let late flows finish (bounded drain).
         let drain_end = Time(self.duration.0 + Time::from_secs(4).0);
-        if self.dense {
-            cell.run_until_dense(self.duration);
-            cell.run_until_dense(drain_end);
-        } else {
-            cell.run_until(self.duration);
-            cell.run_until(drain_end);
+        match &self.checkpoint {
+            Some((every, dir)) => {
+                let every = Dur::from_secs(every.as_nanos().div_ceil(Time::from_secs(1).0));
+                let mut next = Time(cell.now().0 + every.as_nanos());
+                while cell.now() < drain_end {
+                    let to = next.min(drain_end);
+                    self.advance(&mut cell, to);
+                    if cell.now() >= next {
+                        let meta = CheckpointMeta {
+                            argv: self.checkpoint_argv.clone(),
+                            sim_time: cell.now(),
+                            dense: self.dense,
+                            n_cells: 1,
+                        };
+                        let secs = cell.now().as_nanos() / 1_000_000_000;
+                        let path = dir.join(format!("ckpt-{secs}s.orsn"));
+                        if let Err(e) = write_checkpoint(&path, &meta, &[&cell]) {
+                            eprintln!("warning: checkpoint {} failed: {e}", path.display());
+                        }
+                        next = Time(next.0 + every.as_nanos());
+                    }
+                }
+            }
+            None => {
+                self.advance(&mut cell, self.duration);
+                self.advance(&mut cell, drain_end);
+            }
         }
 
         // Only count flows that *started* after warmup. The pipeline

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod checkpoint;
 pub mod config;
 pub mod experiment;
 pub mod multicell;
@@ -37,6 +38,8 @@ pub mod stages;
 pub mod webplt;
 
 pub use cell::{Cell, CellConfig, FlowDone, RlcMode, SchedulerKind, StepProfile};
+pub use checkpoint::CheckpointMeta;
 pub use experiment::{Experiment, ExperimentReport};
-pub use pool::{default_threads, parallel_map, parallel_map_eager};
+pub use multicell::{MultiCell, MultiCellRun};
+pub use pool::{default_threads, parallel_map, parallel_map_eager, WorkerFailure};
 pub use qos::{AppKind, BearerKind, QosProfile, TrafficClass};

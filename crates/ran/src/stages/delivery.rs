@@ -12,6 +12,7 @@ use crate::stages::{AirDelivery, HarqData, HousekeepingStage, IngressStage, RlcR
 use outran_metrics::{CellMetrics, FctCollector};
 use outran_rlc::am::AmPdu;
 use outran_rlc::sdu::RlcSegment;
+use outran_simcore::snap::{SnapError, SnapReader, SnapWriter};
 use outran_simcore::Time;
 
 /// The delivery stage (see module docs).
@@ -135,6 +136,34 @@ impl DeliveryStage {
     /// Drain completed-flow records accumulated since the last call.
     pub fn take_completions(&mut self) -> Vec<FlowDone> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Serialize the stage (checkpointing): completions not yet drained
+    /// by the harness plus the delivered-bytes ledger term.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.seq(self.completions.iter(), |w, d| {
+            w.usize(d.id);
+            w.usize(d.ue);
+            w.u64(d.bytes);
+            w.time(d.spawn);
+            w.dur(d.fct);
+        });
+        w.u64(self.delivered_bytes);
+    }
+
+    /// Restore from [`DeliveryStage::snap`] output.
+    pub fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.completions = r.seq(|r| {
+            Ok(FlowDone {
+                id: r.usize()?,
+                ue: r.usize()?,
+                bytes: r.u64()?,
+                spawn: r.time()?,
+                fct: r.dur()?,
+            })
+        })?;
+        self.delivered_bytes = r.u64()?;
+        Ok(())
     }
 
     /// Bytes delivered to the UE stacks (byte-conservation ledger term).

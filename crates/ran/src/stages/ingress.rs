@@ -14,6 +14,7 @@ use crate::stages::{
 use outran_pdcp::FiveTuple;
 use outran_rlc::am::StatusPdu;
 use outran_rlc::um::DeliveredSdu;
+use outran_simcore::snap::{SnapError, SnapReader, SnapWriter};
 use outran_simcore::{Dur, EventQueue, Time};
 use outran_transport::{TcpReceiver, TcpSender};
 
@@ -374,6 +375,94 @@ impl IngressStage {
     /// Bytes terminally dropped at ingress (CN loss, stale packets).
     pub fn dropped_bytes(&self) -> u64 {
         self.dropped_bytes
+    }
+
+    /// Serialize the stage (checkpointing): every flow's TCP endpoints
+    /// and watchdog state plus the discrete event queue (the queue's
+    /// sequence counter travels too, so restored tie-breaking is exact).
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.seq(self.flows.iter(), |w, f| {
+            w.usize(f.ue);
+            w.u64(f.size);
+            w.time(f.spawn);
+            f.tuple.snap(w);
+            f.sender.snap(w);
+            f.receiver.snap(w);
+            w.bool(f.started);
+            w.bool(f.done);
+            w.u64(f.last_cum);
+            w.time(f.last_progress);
+        });
+        self.events.snap_with(w, |w, ev| match ev {
+            Ev::Arrival { flow } => {
+                w.u8(0);
+                w.usize(*flow);
+            }
+            Ev::PktAtEnb { flow, seq, len } => {
+                w.u8(1);
+                w.usize(*flow);
+                w.u64(*seq);
+                w.u32(*len);
+            }
+            Ev::AckAtServer { flow, cum } => {
+                w.u8(2);
+                w.usize(*flow);
+                w.u64(*cum);
+            }
+            Ev::StatusAtEnb { ue, status } => {
+                w.u8(3);
+                w.usize(*ue);
+                status.snap(w);
+            }
+        });
+        w.u64(self.open_flows);
+        w.u64(self.injected_bytes);
+        w.u64(self.cn_in_flight_bytes);
+        w.u64(self.dropped_bytes);
+    }
+
+    /// Restore from [`IngressStage::snap`] output. TCP senders are
+    /// rebuilt against `cfg.tcp` (the endpoint configuration is not part
+    /// of the snapshot).
+    pub fn load_snap(&mut self, cfg: &CellConfig, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.flows = r.seq(|r| {
+            Ok(FlowRt {
+                ue: r.usize()?,
+                size: r.u64()?,
+                spawn: r.time()?,
+                tuple: FiveTuple::unsnap(r)?,
+                sender: TcpSender::unsnap(cfg.tcp, r)?,
+                receiver: TcpReceiver::unsnap(r)?,
+                started: r.bool()?,
+                done: r.bool()?,
+                last_cum: r.u64()?,
+                last_progress: r.time()?,
+            })
+        })?;
+        self.events = EventQueue::unsnap_with(r, |r| {
+            Ok(match r.u8()? {
+                0 => Ev::Arrival { flow: r.usize()? },
+                1 => Ev::PktAtEnb {
+                    flow: r.usize()?,
+                    seq: r.u64()?,
+                    len: r.u32()?,
+                },
+                2 => Ev::AckAtServer {
+                    flow: r.usize()?,
+                    cum: r.u64()?,
+                },
+                3 => Ev::StatusAtEnb {
+                    ue: r.usize()?,
+                    status: StatusPdu::unsnap(r)?,
+                },
+                _ => return Err(SnapError::Malformed("unknown ingress event tag")),
+            })
+        })?;
+        self.open_flows = r.u64()?;
+        self.injected_bytes = r.u64()?;
+        self.cn_in_flight_bytes = r.u64()?;
+        self.dropped_bytes = r.u64()?;
+        Ok(())
     }
 
     /// Dump incomplete-flow diagnostics (debug only).

@@ -14,6 +14,7 @@ use outran_mac::{
     RrScheduler, Scheduler, SrjfScheduler, UeTti,
 };
 use outran_phy::channel::CellChannel;
+use outran_simcore::snap::{SnapError, SnapReader, SnapWriter};
 use outran_simcore::{Dur, Percentiles, Time};
 
 #[derive(Debug, Clone)]
@@ -26,9 +27,12 @@ struct GbrRuntime {
 /// The MAC scheduling stage (see module docs).
 pub struct MacSchedStage {
     scheduler: Box<dyn Scheduler + Send>,
-    rates: TtiRates,
-    ues_tti: Vec<UeTti>,
-    had_data: Vec<bool>,
+    // `rates` is rebuilt from the restored channel's report versions on
+    // the first refresh after resume (fresh rows carry version
+    // u64::MAX); `ues_tti`/`had_data` are rebuilt every active TTI.
+    rates: TtiRates, // outran-lint: allow(D9) -- re-derived on first refresh_rates
+    ues_tti: Vec<UeTti>, // outran-lint: allow(D9) -- rebuilt every active TTI
+    had_data: Vec<bool>, // outran-lint: allow(D9) -- rebuilt every active TTI
     gbr: Vec<GbrRuntime>,
 }
 
@@ -243,6 +247,49 @@ impl MacSchedStage {
     /// Which UEs entered this TTI with queued or in-flight radio data.
     pub fn had_data(&self) -> &[bool] {
         &self.had_data
+    }
+
+    /// Serialize the stage (checkpointing): the scheduler's long-term
+    /// state and the GBR runtime. The rate matrix and per-TTI scheduler
+    /// inputs are not written: a fresh stage starts with
+    /// `versions = u64::MAX` so the first `refresh_rates` after restore
+    /// rebuilds every row from the restored channel's report versions,
+    /// reproducing the exact values and version tags; `ues_tti` and
+    /// `had_data` are rebuilt from scratch every active TTI.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        self.scheduler.save_state(w);
+        w.seq(self.gbr.iter(), |w, g| {
+            w.usize(g.bearer.ue);
+            w.u32(g.bearer.pkt_bytes);
+            w.dur(g.bearer.interval);
+            w.time(g.next_gen);
+            w.seq(g.queue.iter(), |w, &(at, bytes)| {
+                w.time(at);
+                w.u32(bytes);
+            });
+        });
+    }
+
+    /// Restore from [`MacSchedStage::snap`] output. GBR bearers are
+    /// attached at runtime (not part of [`CellConfig`]), so the full
+    /// bearer definitions travel with the snapshot.
+    pub fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.scheduler.load_state(r)?;
+        self.gbr = r.seq(|r| {
+            let bearer = GbrBearer {
+                ue: r.usize()?,
+                pkt_bytes: r.u32()?,
+                interval: r.dur()?,
+            };
+            let next_gen = r.time()?;
+            let queue = r.seq(|r| Ok((r.time()?, r.u32()?)))?;
+            Ok(GbrRuntime {
+                bearer,
+                next_gen,
+                queue: queue.into(),
+            })
+        })?;
+        Ok(())
     }
 }
 

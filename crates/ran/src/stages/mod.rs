@@ -42,6 +42,7 @@ use outran_pdcp::{FlowTable, MlfqConfig};
 use outran_rlc::am::{AmConfig, AmPdu, AmRx, AmTx};
 use outran_rlc::sdu::{RlcSdu, RlcSegment};
 use outran_rlc::um::{UmConfig, UmRx, UmTx};
+use outran_simcore::snap::{SnapError, SnapReader, SnapWriter};
 use outran_simcore::Time;
 
 /// Identifies one stage of the active-TTI pipeline.
@@ -440,6 +441,42 @@ pub struct UeContext {
     pub flows: Vec<usize>,
 }
 
+/// MLFQ level count for a configuration (shared between construction
+/// and snapshot restore).
+fn mlfq_levels(cfg: &CellConfig) -> usize {
+    if cfg.scheduler.uses_mlfq() {
+        cfg.outran.mlfq_queues
+    } else if cfg.scheduler.uses_oracle_priority() {
+        16 // fine-grained remaining-size levels for the SRJF oracle
+    } else {
+        1 // legacy FIFO
+    }
+}
+
+/// UM transmit-entity configuration for a cell configuration.
+fn um_config(cfg: &CellConfig) -> UmConfig {
+    UmConfig {
+        mlfq_levels: mlfq_levels(cfg),
+        capacity_sdus: cfg.buffer_sdus,
+        header_bytes: cfg.outran.header_bytes,
+        reassembly_window: cfg.outran.reassembly_window,
+        promote_segments: cfg.outran.promote_segments,
+        pushout: cfg.outran.pushout,
+    }
+}
+
+/// AM transmit-entity configuration for a cell configuration.
+fn am_config(cfg: &CellConfig) -> AmConfig {
+    AmConfig {
+        mlfq_levels: mlfq_levels(cfg),
+        capacity_sdus: cfg.buffer_sdus,
+        header_bytes: cfg.outran.header_bytes.max(5),
+        promote_segments: cfg.outran.promote_segments,
+        pushout: cfg.outran.pushout,
+        ..AmConfig::default()
+    }
+}
+
 impl UeContext {
     /// Build the per-UE contexts for a configuration (one shared MLFQ
     /// config across flow tables; per-mode RLC entities).
@@ -449,13 +486,6 @@ impl UeContext {
         } else {
             MlfqConfig::default()
         });
-        let levels = if cfg.scheduler.uses_mlfq() {
-            cfg.outran.mlfq_queues
-        } else if cfg.scheduler.uses_oracle_priority() {
-            16 // fine-grained remaining-size levels for the SRJF oracle
-        } else {
-            1 // legacy FIFO
-        };
         (0..cfg.n_ues)
             .map(|_| {
                 let mut flow_table = FlowTable::shared(mlfq.clone());
@@ -465,22 +495,8 @@ impl UeContext {
                 UeContext {
                     flow_table,
                     rlc_tx: match cfg.rlc_mode {
-                        RlcMode::Um => RlcTx::Um(UmTx::new(UmConfig {
-                            mlfq_levels: levels,
-                            capacity_sdus: cfg.buffer_sdus,
-                            header_bytes: cfg.outran.header_bytes,
-                            reassembly_window: cfg.outran.reassembly_window,
-                            promote_segments: cfg.outran.promote_segments,
-                            pushout: cfg.outran.pushout,
-                        })),
-                        RlcMode::Am => RlcTx::Am(AmTx::new(AmConfig {
-                            mlfq_levels: levels,
-                            capacity_sdus: cfg.buffer_sdus,
-                            header_bytes: cfg.outran.header_bytes.max(5),
-                            promote_segments: cfg.outran.promote_segments,
-                            pushout: cfg.outran.pushout,
-                            ..AmConfig::default()
-                        })),
+                        RlcMode::Um => RlcTx::Um(UmTx::new(um_config(cfg))),
+                        RlcMode::Am => RlcTx::Am(AmTx::new(am_config(cfg))),
                     },
                     rlc_rx: match cfg.rlc_mode {
                         RlcMode::Um => RlcRx::Um(UmRx::new(cfg.outran.reassembly_window)),
@@ -491,6 +507,84 @@ impl UeContext {
                 }
             })
             .collect()
+    }
+
+    /// Serialize this UE's pipeline state (checkpointing): flow table,
+    /// both RLC entities (mode-tagged), HARQ processes and the active
+    /// flow list.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        self.flow_table.snap(w);
+        match &self.rlc_tx {
+            RlcTx::Um(um) => {
+                w.u8(0);
+                um.snap(w);
+            }
+            RlcTx::Am(am) => {
+                w.u8(1);
+                am.snap(w);
+            }
+        }
+        match &self.rlc_rx {
+            RlcRx::Um(um) => {
+                w.u8(0);
+                um.snap(w);
+            }
+            RlcRx::Am(am) => {
+                w.u8(1);
+                am.snap(w);
+            }
+        }
+        self.harq.snap_with(w, |w, p| {
+            w.u64(p.bytes);
+            match &p.data {
+                HarqData::Um(segs) => {
+                    w.u8(0);
+                    w.seq(segs.iter(), |w, s| s.snap(w));
+                }
+                HarqData::Am(pdus) => {
+                    w.u8(1);
+                    w.seq(pdus.iter(), |w, p| p.snap(w));
+                }
+            }
+        });
+        w.seq(self.flows.iter(), |w, &f| w.usize(f));
+    }
+
+    /// Overlay checkpointed state from [`UeContext::snap`] output onto a
+    /// freshly built context. The RLC mode tags must agree with
+    /// `cfg.rlc_mode` — a UM snapshot cannot load into an AM cell.
+    pub fn load_snap(&mut self, cfg: &CellConfig, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.flow_table.load_snap(r)?;
+        self.rlc_tx = match (r.u8()?, cfg.rlc_mode) {
+            (0, RlcMode::Um) => RlcTx::Um(UmTx::unsnap(um_config(cfg), r)?),
+            (1, RlcMode::Am) => RlcTx::Am(AmTx::unsnap(am_config(cfg), r)?),
+            _ => {
+                return Err(SnapError::Malformed(
+                    "RLC tx mode disagrees with configuration",
+                ))
+            }
+        };
+        self.rlc_rx = match (r.u8()?, cfg.rlc_mode) {
+            (0, RlcMode::Um) => RlcRx::Um(UmRx::unsnap(r)?),
+            (1, RlcMode::Am) => RlcRx::Am(AmRx::unsnap(AmConfig::default(), r)?),
+            _ => {
+                return Err(SnapError::Malformed(
+                    "RLC rx mode disagrees with configuration",
+                ))
+            }
+        };
+        self.harq =
+            outran_phy::harq::HarqQueue::unsnap_with(cfg.harq.unwrap_or_default(), r, |r| {
+                let bytes = r.u64()?;
+                let data = match r.u8()? {
+                    0 => HarqData::Um(r.seq(RlcSegment::unsnap)?),
+                    1 => HarqData::Am(r.seq(AmPdu::unsnap)?),
+                    _ => return Err(SnapError::Malformed("unknown HARQ payload tag")),
+                };
+                Ok(HarqPayload { bytes, data })
+            })?;
+        self.flows = r.seq(|r| r.usize())?;
+        Ok(())
     }
 
     /// Whether this UE's RLC/HARQ state can generate work this TTI.

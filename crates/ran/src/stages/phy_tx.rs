@@ -20,6 +20,7 @@ use outran_faults::ActiveFaults;
 use outran_mac::Allocation;
 use outran_phy::channel::CellChannel;
 use outran_rlc::sdu::RlcSegment;
+use outran_simcore::snap::{SnapError, SnapReader, SnapWriter};
 use outran_simcore::{Dur, Rng, Time};
 
 /// The PHY transmit stage (see module docs).
@@ -30,11 +31,12 @@ pub struct PhyTxStage {
     residual_losses: u64,
     harq_held_bytes: u64,
     dropped_bytes: u64,
-    // Reusable per-TTI buffers (no per-tick allocation).
-    group_bits: Vec<f64>,
-    segs: Vec<RlcSegment>,
-    transmitted: Vec<f64>,
-    delivered: Vec<f64>,
+    // Reusable per-TTI buffers (no per-tick allocation); drained or
+    // rewritten inside every active TTI, never read across a boundary.
+    group_bits: Vec<f64>,  // outran-lint: allow(D9) -- per-TTI scratch
+    segs: Vec<RlcSegment>, // outran-lint: allow(D9) -- per-TTI scratch
+    transmitted: Vec<f64>, // outran-lint: allow(D9) -- per-TTI scratch
+    delivered: Vec<f64>,   // outran-lint: allow(D9) -- per-TTI scratch
     deliveries: Vec<AirDelivery>,
 }
 
@@ -323,5 +325,35 @@ impl PhyTxStage {
     /// Bytes terminally dropped at the air interface (ledger term).
     pub fn dropped_bytes(&self) -> u64 {
         self.dropped_bytes
+    }
+
+    /// Serialize the stage (checkpointing): the full channel state, the
+    /// main simulation RNG and the air-interface counters. The per-TTI
+    /// scratch buffers (`group_bits`, `segs`, `transmitted`, `delivered`,
+    /// `deliveries`) are drained/rewritten inside every active TTI and
+    /// never read across a TTI boundary, so they are not written.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        debug_assert!(
+            self.deliveries.is_empty(),
+            "checkpointing mid-TTI: delivery batch not drained"
+        );
+        self.channel.snap(w);
+        self.rng.snap(w);
+        w.u64(self.harq_wasted_tbs);
+        w.u64(self.residual_losses);
+        w.u64(self.harq_held_bytes);
+        w.u64(self.dropped_bytes);
+    }
+
+    /// Restore from [`PhyTxStage::snap`] output. The scratch buffers are
+    /// left empty, matching the between-TTI state at snapshot time.
+    pub fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.channel.load_snap(r)?;
+        self.rng = Rng::unsnap(r)?;
+        self.harq_wasted_tbs = r.u64()?;
+        self.residual_losses = r.u64()?;
+        self.harq_held_bytes = r.u64()?;
+        self.dropped_bytes = r.u64()?;
+        Ok(())
     }
 }

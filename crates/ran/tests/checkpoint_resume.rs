@@ -1,0 +1,148 @@
+//! Kill-mid-run + resume proof: a checkpoint taken at an arbitrary
+//! mid-run TTI under an **active chaos fault plan**, restored into a
+//! freshly built cell, must yield bit-identical final state (snapshot
+//! digest) and an identical experiment report — in both stepping modes.
+//!
+//! This is the golden-digest guarantee the checkpoint layer promises:
+//! crash + resume is indistinguishable from never having crashed.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use outran_faults::FaultPlan;
+use outran_ran::cell::{Cell, SchedulerKind};
+use outran_ran::checkpoint::{
+    read_checkpoint, restore_cell, snapshot_cell, write_checkpoint, CheckpointMeta,
+};
+use outran_ran::Experiment;
+use outran_simcore::{Dur, Time};
+
+const SECS: u64 = 4;
+const SEED: u64 = 0xD1CE;
+
+/// A chaos-active experiment, identical every call (one root seed).
+fn experiment(dense: bool) -> Experiment {
+    Experiment::lte_default()
+        .scheduler(SchedulerKind::OutRan)
+        .users(4)
+        .load(0.5)
+        .duration_secs(SECS)
+        .seed(SEED)
+        .dense_stepping(dense)
+        .faults(FaultPlan::chaos(SEED, Dur::from_secs(SECS), 4, 0.6))
+        .watchdog(Some(Dur::from_millis(750)))
+}
+
+fn advance(cell: &mut Cell, dense: bool, to: Time) {
+    if dense {
+        cell.run_until_dense(to);
+    } else {
+        cell.run_until(to);
+    }
+}
+
+/// Run `cell` through the drain window and fingerprint its final state.
+fn final_digest(mut cell: Cell, dense: bool) -> (u64, usize) {
+    // duration + drain, the same horizon `Experiment::run_cell` walks.
+    advance(&mut cell, dense, Time::from_secs(SECS + 4));
+    let meta = CheckpointMeta {
+        argv: vec!["digest".into()],
+        sim_time: cell.now(),
+        dense,
+        n_cells: 1,
+    };
+    (snapshot_cell(&meta, &cell).digest(), cell.n_completed())
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("outran-resume-{tag}-{}", std::process::id()))
+}
+
+fn kill_and_resume_case(dense: bool, ckpt_at: Time) {
+    // Uninterrupted reference run.
+    let (want_digest, want_done) = final_digest(experiment(dense).build_cell(), dense);
+
+    // "Crashing" run: advance to an arbitrary mid-run instant with
+    // faults landing, persist a checkpoint, drop everything.
+    let dir = tmp_dir(if dense { "dense" } else { "event" });
+    let path = dir.join("mid.orsn");
+    let taken_at;
+    {
+        let mut cell = experiment(dense).build_cell();
+        advance(&mut cell, dense, ckpt_at);
+        taken_at = cell.now();
+        let meta = CheckpointMeta {
+            argv: vec!["test".into()],
+            sim_time: taken_at,
+            dense,
+            n_cells: 1,
+        };
+        write_checkpoint(&path, &meta, &[&cell]).unwrap();
+    }
+
+    // "Restart": fresh cell from the same configuration, overlay the
+    // checkpointed dynamic state, run out the horizon.
+    let (meta, file) = read_checkpoint(&path).unwrap();
+    assert_eq!(meta.sim_time, taken_at);
+    assert_eq!(meta.dense, dense);
+    let mut cell = experiment(dense).build_cell();
+    restore_cell(&file, 0, &mut cell).unwrap();
+    assert_eq!(cell.now(), taken_at);
+    let (got_digest, got_done) = final_digest(cell, dense);
+
+    assert_eq!(
+        got_digest, want_digest,
+        "resumed run diverged from uninterrupted (dense={dense})"
+    );
+    assert_eq!(got_done, want_done);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_mid_run_and_resume_is_bit_identical_event_driven() {
+    kill_and_resume_case(false, Time::from_millis(1700));
+}
+
+#[test]
+fn kill_mid_run_and_resume_is_bit_identical_dense() {
+    kill_and_resume_case(true, Time::from_millis(2300));
+}
+
+/// The chunked checkpoint loop inside `Experiment::run_cell` must not
+/// perturb results, and resuming from one of its periodic snapshots
+/// must reproduce the uninterrupted report byte-for-byte.
+#[test]
+fn checkpointed_run_report_matches_plain_run() {
+    for dense in [false, true] {
+        let want = experiment(dense).run();
+
+        let dir = tmp_dir(if dense { "rep-dense" } else { "rep-event" });
+        let got = experiment(dense)
+            .checkpoint_every(
+                Dur::from_secs(1),
+                dir.clone(),
+                vec!["outran-sim".into(), "run".into()],
+            )
+            .run();
+        assert_eq!(
+            format!("{want:?}"),
+            format!("{got:?}"),
+            "periodic checkpointing changed the report (dense={dense})"
+        );
+
+        // Resume from the 2 s snapshot and run to completion.
+        let ckpt = dir.join("ckpt-2s.orsn");
+        let (_meta, file) = read_checkpoint(&ckpt).expect("periodic checkpoint written");
+        let e = experiment(dense);
+        let mut cell = e.build_cell();
+        restore_cell(&file, 0, &mut cell).unwrap();
+        let resumed = e.run_cell(cell);
+        assert_eq!(
+            format!("{want:?}"),
+            format!("{resumed:?}"),
+            "resume from periodic checkpoint diverged (dense={dense})"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

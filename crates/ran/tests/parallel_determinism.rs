@@ -6,8 +6,17 @@
 use outran_faults::FaultPlan;
 use outran_phy::Scenario;
 use outran_ran::multicell::MultiCell;
-use outran_ran::{parallel_map, Experiment, ExperimentReport, SchedulerKind};
+use outran_ran::{parallel_map, Experiment, ExperimentReport, SchedulerKind, WorkerFailure};
 use outran_simcore::{Dur, Time};
+
+/// Unwrap every supervised job result — these sweeps are expected to
+/// succeed; a `WorkerFailure` here is a real test failure.
+fn all_ok(results: Vec<Result<ExperimentReport, WorkerFailure>>) -> Vec<ExperimentReport> {
+    results
+        .into_iter()
+        .map(|r| r.expect("sweep job failed"))
+        .collect()
+}
 
 const SECS: u64 = 3;
 
@@ -37,7 +46,7 @@ fn fingerprints(reports: &[ExperimentReport]) -> Vec<String> {
 fn parallel_standard_sweep_is_bit_identical_to_serial() {
     let seeds = [11u64, 23, 47, 101, 202, 303];
     let serial: Vec<ExperimentReport> = seeds.iter().map(|&s| standard(s).run()).collect();
-    let parallel = parallel_map(4, seeds.to_vec(), |s| standard(s).run());
+    let parallel = all_ok(parallel_map(4, seeds.to_vec(), |s| standard(s).run()));
     assert_eq!(fingerprints(&serial), fingerprints(&parallel));
 }
 
@@ -45,7 +54,7 @@ fn parallel_standard_sweep_is_bit_identical_to_serial() {
 fn parallel_chaos_sweep_replays_fault_plans_identically() {
     let seeds = [7u64, 13, 29, 31];
     let serial: Vec<ExperimentReport> = seeds.iter().map(|&s| chaos(s).run()).collect();
-    let parallel = parallel_map(4, seeds.to_vec(), |s| chaos(s).run());
+    let parallel = all_ok(parallel_map(4, seeds.to_vec(), |s| chaos(s).run()));
     let (sf, pf) = (fingerprints(&serial), fingerprints(&parallel));
     assert_eq!(sf, pf);
     // The chaos plans actually did something (otherwise this test would
@@ -77,7 +86,7 @@ fn multicell_parallel_shards_match_serial() {
 #[test]
 fn thread_count_does_not_change_results() {
     let seeds = [5u64, 6, 7, 8, 9];
-    let one = parallel_map(1, seeds.to_vec(), |s| standard(s).run());
-    let many = parallel_map(8, seeds.to_vec(), |s| standard(s).run());
+    let one = all_ok(parallel_map(1, seeds.to_vec(), |s| standard(s).run()));
+    let many = all_ok(parallel_map(8, seeds.to_vec(), |s| standard(s).run()));
     assert_eq!(fingerprints(&one), fingerprints(&many));
 }

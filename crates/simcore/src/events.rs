@@ -88,6 +88,37 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Current value of the insertion counter (checkpointing). The
+    /// counter never resets, so restoring it keeps FIFO tie-breaking
+    /// identical across a resume.
+    pub fn seq_counter(&self) -> u64 {
+        self.seq
+    }
+
+    /// Overwrite the insertion counter (checkpoint restore only).
+    pub fn set_seq_counter(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+
+    /// Schedule with an explicit sequence number (checkpoint restore
+    /// only — normal scheduling must go through [`EventQueue::schedule`]).
+    pub fn schedule_with_seq(&mut self, at: Time, seq: u64, event: E) {
+        self.heap.push(Reverse((Key(at, seq), EventBox(event))));
+    }
+
+    /// All pending events in deterministic `(time, seq)` order, with
+    /// their exact sequence numbers (checkpointing). The heap's internal
+    /// layout is not deterministic; the sorted view is.
+    pub fn sorted_entries(&self) -> Vec<(Time, u64, &E)> {
+        let mut out: Vec<(Time, u64, &E)> = self
+            .heap
+            .iter()
+            .map(|Reverse((Key(t, seq), EventBox(e)))| (*t, *seq, e))
+            .collect();
+        out.sort_by_key(|&(t, seq, _)| (t, seq));
+        out
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -50,11 +50,13 @@
 pub mod dist;
 pub mod events;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod time;
 
 pub use dist::{Empirical, Exponential, Normal, Poisson};
 pub use events::EventQueue;
 pub use rng::Rng;
+pub use snap::{fnv1a, write_atomic, SnapError, SnapReader, SnapWriter, SnapshotFile};
 pub use stats::{Ewma, Percentiles, RunningStats};
 pub use time::{Dur, Time};

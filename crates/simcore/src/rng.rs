@@ -65,6 +65,19 @@ impl Rng {
         Rng { s }
     }
 
+    /// Borrow the raw xoshiro256** state (checkpointing).
+    pub fn state(&self) -> &[u64; 4] {
+        &self.s
+    }
+
+    /// Rebuild a generator from a previously captured state. The state
+    /// must not be all zeros (the one fixed point of xoshiro256**);
+    /// callers restoring from a snapshot validate that before calling.
+    pub fn from_state(s: [u64; 4]) -> Rng {
+        debug_assert!(s != [0, 0, 0, 0], "all-zero xoshiro state");
+        Rng { s }
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {

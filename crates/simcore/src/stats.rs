@@ -13,11 +13,11 @@
 /// Welford online mean/variance with min/max tracking.
 #[derive(Debug, Clone, Default)]
 pub struct RunningStats {
-    n: u64,
-    mean: f64,
-    m2: f64,
-    min: f64,
-    max: f64,
+    pub(crate) n: u64,
+    pub(crate) mean: f64,
+    pub(crate) m2: f64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
 }
 
 impl RunningStats {
@@ -118,9 +118,9 @@ impl RunningStats {
 /// averaging horizon (Girici et al. \[37\], Musleh et al. \[57\]).
 #[derive(Debug, Clone, Copy)]
 pub struct Ewma {
-    alpha: f64,
-    value: f64,
-    primed: bool,
+    pub(crate) alpha: f64,
+    pub(crate) value: f64,
+    pub(crate) primed: bool,
 }
 
 impl Ewma {
@@ -204,8 +204,8 @@ impl Ewma {
 /// Exact percentile computation over retained samples.
 #[derive(Debug, Clone, Default)]
 pub struct Percentiles {
-    samples: Vec<f64>,
-    sorted: bool,
+    pub(crate) samples: Vec<f64>,
+    pub(crate) sorted: bool,
 }
 
 impl Percentiles {
