@@ -1,7 +1,9 @@
 //! Simulator throughput baseline — simulated TTIs per wall-clock second
 //! for each scheduler plus the parallel-sweep speedup (`BENCH_2.json`),
-//! and the idle-heavy WebPLT scenario comparing dense vs event-driven
-//! stepping (`BENCH_3.json`).
+//! the idle-heavy WebPLT scenario comparing dense vs event-driven
+//! stepping (`BENCH_3.json`), and the dense busy-cell MAC *kernel*
+//! arms measuring the SoA scheduler hot path in isolation
+//! (`BENCH_4.json`).
 //!
 //! ```console
 //! cargo run --release -p outran-bench --bin throughput            # measure
@@ -9,6 +11,8 @@
 //!     --check BENCH_2.json                                        # gate
 //! cargo run --release -p outran-bench --bin throughput -- \
 //!     --check BENCH_3.json                                        # gate
+//! cargo run --release -p outran-bench --bin throughput -- \
+//!     --check BENCH_4.json                                        # gate
 //! cargo run --release -p outran-bench --bin throughput -- --profile
 //! ```
 //!
@@ -18,18 +22,28 @@
 //! the file's schema decides which arm is re-measured. The BENCH_3 arm
 //! additionally fails whenever the event-driven run skips zero TTIs on
 //! the idle-heavy workload (the skip machinery silently disabled is a
-//! perf regression the tolerance would never catch). Absolute TTIs/sec
-//! are machine-dependent: gate against a baseline produced on the same
-//! machine (CI measures, then self-checks).
+//! perf regression the tolerance would never catch). The BENCH_4 arm
+//! additionally enforces the SoA-kernel floor: the PF and OutRAN MAC
+//! scheduling kernels must each run at ≥ 5× the same run's end-to-end
+//! dense TTIs/s — a machine-independent ratio (both sides measured on
+//! the same box, same build), so the scheduling stage can never again
+//! bound dense throughput. Absolute TTIs/sec are machine-dependent:
+//! gate against a baseline produced on the same machine (CI measures,
+//! then self-checks).
 //!
-//! `--profile` attributes active-TTI wall time to phy/rlc/mac/faults
-//! (plus transport) per scheduler, using `std::time::Instant` only.
+//! `--profile` attributes active-TTI wall time to the pipeline stages
+//! per scheduler (via the `StageTimer` observer, `std::time::Instant`
+//! only), prints the shares, and writes them machine-readably to
+//! `PROFILE.json` (atomically: temp sibling + rename).
 
 #![forbid(unsafe_code)]
 
+use outran_mac::{OutRanScheduler, PfScheduler, Scheduler, TtiRates, UeTti};
+use outran_pdcp::Priority;
+use outran_phy::channel::CellChannel;
 use outran_ran::webplt::idle_heavy_arrivals;
 use outran_ran::{Cell, CellConfig, SchedulerKind};
-use outran_simcore::{Dur, Time};
+use outran_simcore::{Dur, Rng, Time};
 use std::time::Instant;
 
 /// Simulated horizon per measured run.
@@ -85,6 +99,225 @@ fn baseline_tps(json: &str, scheduler: &str) -> Option<f64> {
     let tag = format!("\"scheduler\": \"{scheduler}\"");
     let at = json.find(&tag)? + tag.len();
     scan_f64(&json[at..], "ttis_per_sec")
+}
+
+// ---- dense busy-cell MAC kernel arm (BENCH_4) --------------------------
+
+/// TTIs per measured kernel run — large enough that the sub-µs per-TTI
+/// kernel cost integrates to a stable wall-clock reading.
+const KERNEL_TTIS: u64 = 1_000_000;
+
+/// The kernel arms: the schedulers whose SoA hot path the ≥5× gate
+/// covers (the paper's contribution and its PF base).
+const KERNEL_KINDS: [SchedulerKind; 2] = [SchedulerKind::Pf, SchedulerKind::OutRan];
+
+/// Kernel inputs: a plane-backed rate matrix filled from a warmed LTE
+/// channel's delivered reports, and a fully backlogged cell (every UE
+/// active every TTI — the dense busy-cell regime).
+fn build_kernel_inputs() -> (TtiRates, Vec<UeTti>) {
+    let cfg = CellConfig::lte_default(USERS, SchedulerKind::Pf, 42);
+    let mut ch = CellChannel::new(cfg.channel, USERS, &Rng::new(42));
+    let tti = ch.config().radio.tti();
+    let mut now = Time::ZERO;
+    for _ in 0..100 {
+        now += tti;
+        ch.advance_tti(now);
+    }
+    let n_sb = ch.config().n_subbands;
+    let mut rates = TtiRates {
+        per_ue_sb: vec![0.0; USERS * n_sb],
+        rb_to_sb: (0..ch.n_rbs()).map(|rb| ch.subband_of_rb(rb)).collect(),
+        n_sb,
+        n_ues: USERS,
+        reserved: vec![false; ch.n_rbs() as usize],
+        versions: vec![1; USERS],
+    };
+    for u in 0..USERS {
+        ch.fill_reported_rates(u, &mut rates.per_ue_sb[u * n_sb..(u + 1) * n_sb]);
+    }
+    let ues = (0..USERS)
+        .map(|i| UeTti {
+            active: true,
+            head_priority: Some(Priority((i % 4) as u8)),
+            queued_bytes: 1_000_000,
+            oracle_min_remaining: Some(10_000 + i as u64 * 1_000),
+            hol_delay: Dur::from_millis(5),
+            oracle_has_qos_flow: i % 4 == 0,
+        })
+        .collect();
+    (rates, ues)
+}
+
+/// Run the MAC scheduling kernel (rate-row churn on the CQI report
+/// cadence + allocate + served feedback per TTI) for [`KERNEL_TTIS`]
+/// dense TTIs; returns (TTIs, wall seconds).
+fn run_kernel_timed(kind: SchedulerKind) -> (u64, f64) {
+    let (mut rates, ues) = build_kernel_inputs();
+    let n_sb = rates.n_sb;
+    let tti = Dur::from_millis(1);
+    let tf = Dur::from_millis(1000);
+    let mut sched: Box<dyn Scheduler> = match kind {
+        SchedulerKind::Pf => Box::new(PfScheduler::with_tf(USERS, tf, tti)),
+        SchedulerKind::OutRan => Box::new(OutRanScheduler::over_pf(
+            USERS,
+            tf,
+            tti,
+            OutRanScheduler::DEFAULT_EPSILON,
+        )),
+        other => unreachable!("no kernel arm for {}", other.name()),
+    };
+    let mut now = Time::ZERO;
+    let start = Instant::now();
+    for t in 0..KERNEL_TTIS {
+        // Emulate the CQI report cadence: every 8 TTIs one UE's rate row
+        // changes content and version, exercising the metric cache's
+        // invalidation path at a realistic rate.
+        if t % 8 == 0 {
+            let u = ((t / 8) % USERS as u64) as usize;
+            rates.per_ue_sb[u * n_sb..(u + 1) * n_sb].rotate_left(1);
+            rates.versions[u] += 1;
+        }
+        let alloc = sched.allocate(now, &ues, &rates);
+        sched.on_served(&alloc.bits_per_ue);
+        now += tti;
+    }
+    (KERNEL_TTIS, start.elapsed().as_secs_f64())
+}
+
+/// Assemble BENCH_4.json: the same-run end-to-end dense rows plus the
+/// kernel rows, each kernel row carrying its speedup over the matching
+/// end-to-end arm (both sides measured on this machine in this run, so
+/// the ratio is machine-independent).
+fn kernel_json(e2e: &[(&str, u64, f64, f64)], kernel: &[(&str, u64, f64, f64)]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"outran-kernel-v1\",\n");
+    json.push_str(&format!(
+        "  \"sim_secs\": {SIM_SECS},\n  \"users\": {USERS},\n  \
+         \"kernel_ttis\": {KERNEL_TTIS},\n"
+    ));
+    json.push_str("  \"per_scheduler\": [\n");
+    for (i, (name, ttis, secs, tps)) in e2e.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scheduler\": \"{name}\", \"ttis\": {ttis}, \
+             \"wall_secs\": {secs:.4}, \"ttis_per_sec\": {tps:.1}}}{}\n",
+            if i + 1 < e2e.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"kernel_per_scheduler\": [\n");
+    for (i, (name, ttis, secs, tps)) in kernel.iter().enumerate() {
+        let e2e_tps = e2e
+            .iter()
+            .find(|(n, _, _, _)| n == name)
+            .map(|(_, _, _, t)| *t)
+            .unwrap_or(f64::NAN);
+        json.push_str(&format!(
+            "    {{\"scheduler\": \"{name}\", \"ttis\": {ttis}, \
+             \"wall_secs\": {secs:.4}, \"ttis_per_sec\": {tps:.1}, \
+             \"e2e_ttis_per_sec\": {e2e_tps:.1}, \
+             \"kernel_speedup\": {:.2}}}{}\n",
+            tps / e2e_tps,
+            if i + 1 < kernel.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Measure the kernel arms (with one warm-up run); returns rows.
+fn measure_kernel_rows() -> Vec<(&'static str, u64, f64, f64)> {
+    let _ = run_kernel_timed(SchedulerKind::Pf);
+    KERNEL_KINDS
+        .into_iter()
+        .map(|kind| {
+            let (ttis, secs) = run_kernel_timed(kind);
+            let tps = ttis as f64 / secs;
+            eprintln!(
+                "  [throughput] kernel {:<12} {ttis} TTIs in {secs:.3}s = {tps:.0} TTIs/s",
+                kind.name()
+            );
+            (kind.name(), ttis, secs, tps)
+        })
+        .collect()
+}
+
+/// Re-measure and gate against a BENCH_4 baseline: end-to-end arms and
+/// kernel arms within tolerance of their recorded figures, and — the
+/// hard, machine-independent floor — each kernel arm at ≥ 5× its own
+/// end-to-end arm as measured in this very run.
+fn check_kernel(baseline: &str, tolerance: f64) {
+    // The two sections share the `"scheduler":` tag; split the baseline
+    // at the kernel array so each side parses against its own rows.
+    let Some(split) = baseline.find("\"kernel_per_scheduler\"") else {
+        eprintln!("throughput: baseline lacks kernel_per_scheduler — wrong file?");
+        std::process::exit(2);
+    };
+    let (base_e2e, base_kernel) = baseline.split_at(split);
+
+    let _ = run_timed(build_cell(SchedulerKind::Pf)); // warm-up
+    let mut failed = false;
+    let mut e2e_tps = Vec::new();
+    for kind in KINDS {
+        let (ttis, secs) = run_timed(build_cell(kind));
+        let tps = ttis as f64 / secs;
+        e2e_tps.push((kind.name(), tps));
+        let Some(base) = baseline_tps(base_e2e, kind.name()) else {
+            eprintln!(
+                "  [throughput] {}: no e2e baseline entry, skipping",
+                kind.name()
+            );
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        let verdict = if tps < floor { "REGRESSION" } else { "ok" };
+        failed |= tps < floor;
+        eprintln!(
+            "  [throughput] e2e {}: {tps:.0} vs baseline {base:.0} (floor {floor:.0}) — {verdict}",
+            kind.name()
+        );
+    }
+    let mut gated = 0usize;
+    for (name, ttis, secs, tps) in measure_kernel_rows() {
+        let _ = (ttis, secs);
+        if let Some(base) = baseline_tps(base_kernel, name) {
+            gated += 1;
+            let floor = base * (1.0 - tolerance);
+            let verdict = if tps < floor { "REGRESSION" } else { "ok" };
+            failed |= tps < floor;
+            eprintln!(
+                "  [throughput] kernel {name}: {tps:.0} vs baseline {base:.0} \
+                 (floor {floor:.0}) — {verdict}"
+            );
+        } else {
+            eprintln!("  [throughput] kernel {name}: no baseline entry, skipping");
+        }
+        let e2e = e2e_tps
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, t)| *t)
+            .unwrap_or(f64::NAN);
+        let speedup = tps / e2e;
+        // NaN (no matching e2e arm) must fail the floor, not pass it.
+        let meets_floor = speedup >= 5.0;
+        let verdict = if meets_floor { "ok" } else { "BELOW 5x FLOOR" };
+        failed |= !meets_floor;
+        eprintln!(
+            "  [throughput] kernel {name}: {speedup:.1}x its e2e arm ({tps:.0} vs {e2e:.0}) \
+             — {verdict} (floor 5.0x)"
+        );
+    }
+    if gated == 0 {
+        eprintln!("throughput: baseline has no usable kernel entries — wrong file?");
+        std::process::exit(2);
+    }
+    if failed {
+        eprintln!("throughput: kernel/e2e check failed");
+        std::process::exit(1);
+    }
+    println!(
+        "kernel throughput check passed (tolerance {:.0}%, kernel floor 5.0x e2e)",
+        tolerance * 100.0
+    );
 }
 
 /// Scan `"key": <number>` out of self-emitted JSON.
@@ -172,8 +405,16 @@ fn idle_heavy_json(m: &IdleHeavy) -> String {
 
 /// `--profile`: per-stage wall-time attribution of the active pipeline
 /// (exclusive time per pipeline stage, via the `StageTimer` observer).
+/// Prints the shares and writes them machine-readably to PROFILE.json
+/// (atomic write, like the BENCH files).
 fn profile_mode() {
-    for kind in KINDS {
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"outran-profile-v1\",\n");
+    json.push_str(&format!(
+        "  \"sim_secs\": {SIM_SECS},\n  \"users\": {USERS},\n"
+    ));
+    json.push_str("  \"per_scheduler\": [\n");
+    for (i, kind) in KINDS.into_iter().enumerate() {
         let mut cell = build_cell(kind);
         cell.enable_profiling();
         let end = Time::ZERO + Dur::from_secs(SIM_SECS);
@@ -196,7 +437,36 @@ fn profile_mode() {
             pct(p.housekeeping_ns),
             total / 1e9,
         );
+        // Shares as fractions of attributed time; raw nanoseconds ride
+        // along so downstream tooling can re-derive anything.
+        let share = |ns: u64| ns as f64 / total;
+        json.push_str(&format!(
+            "    {{\"scheduler\": \"{}\", \"wall_secs\": {wall:.4}, \
+             \"attributed_secs\": {:.4},\n     \"shares\": {{\
+             \"ingress\": {:.4}, \"rlc_down\": {:.4}, \"mac_sched\": {:.4}, \
+             \"phy_tx\": {:.4}, \"delivery\": {:.4}, \"housekeeping\": {:.4}}},\n     \
+             \"ns\": {{\"ingress\": {}, \"rlc_down\": {}, \"mac_sched\": {}, \
+             \"phy_tx\": {}, \"delivery\": {}, \"housekeeping\": {}}}}}{}\n",
+            kind.name(),
+            total / 1e9,
+            share(p.ingress_ns),
+            share(p.rlc_down_ns),
+            share(p.mac_sched_ns),
+            share(p.phy_tx_ns),
+            share(p.delivery_ns),
+            share(p.housekeeping_ns),
+            p.ingress_ns,
+            p.rlc_down_ns,
+            p.mac_sched_ns,
+            p.phy_tx_ns,
+            p.delivery_ns,
+            p.housekeeping_ns,
+            if i + 1 < KINDS.len() { "," } else { "" }
+        ));
     }
+    json.push_str("  ]\n}\n");
+    write_json("PROFILE.json", &json);
+    eprintln!("  [profile] wrote PROFILE.json");
 }
 
 fn main() {
@@ -228,6 +498,10 @@ fn main() {
     if let Some(baseline) = &baseline {
         if baseline.contains("outran-idleheavy") {
             check_idle_heavy(baseline, tolerance);
+            return;
+        }
+        if baseline.contains("outran-kernel") {
+            check_kernel(baseline, tolerance);
             return;
         }
     }
@@ -345,6 +619,14 @@ fn main() {
         write_json("BENCH_3.json", &json3);
         println!("{json3}");
         eprintln!("  [throughput] wrote BENCH_3.json");
+
+        // Dense busy-cell MAC kernel arms, gated at ≥5× the end-to-end
+        // rows measured above (same machine, same build).
+        let kernel_rows = measure_kernel_rows();
+        let json4 = kernel_json(&rows, &kernel_rows);
+        write_json("BENCH_4.json", &json4);
+        println!("{json4}");
+        eprintln!("  [throughput] wrote BENCH_4.json");
     }
 }
 

@@ -11,23 +11,42 @@
 //!    UE's average actually changes, so most `(ue, subband)` rows are
 //!    unchanged between consecutive TTIs.
 //!
-//! [`SubbandMetricCache`] exploits both: it keeps a `|U| × |SB|` matrix
+//! [`SubbandMetricCache`] exploits both: it keeps a `|SB| × |U|` matrix
 //! of metric values plus a per-UE `(rates_version, metric_rev)` key, and
 //! only recomputes the rows whose key changed. Ineligible entries
 //! (rate ≤ 0) are stored as [`f64::NEG_INFINITY`] so a strict-`>` argmax
 //! over rows folds the eligibility test into the comparison — `-inf`
 //! can never beat an eligible metric (metrics are strictly positive for
 //! eligible UEs) and never enters an ε-band whose floor is ≥ 0.
+//!
+//! ## Data layout
+//!
+//! The matrix is stored **subband-major** (`cols[sb * n_ues + ue]`) and
+//! the validity keys column-wise (one flat plane per key component), so
+//! the schedulers' per-subband argmax scans a contiguous column of
+//! `n_ues` doubles — the loop the allocator runs once per subband per
+//! TTI — while the refresh writes strided but runs only on version
+//! misses. When the [`RateSource`] exposes its backing planes
+//! ([`RateSource::planes`]), both refresh and allocation run without any
+//! per-element virtual dispatch.
 
 use crate::types::{Allocation, RateSource};
 
-/// A `|U| × |SB|` matrix of cached metric values with per-UE validity
-/// keys. See the module docs for the invalidation contract.
+/// A `|SB| × |U|` subband-major matrix of cached metric values with
+/// per-UE validity keys. See the module docs for the invalidation
+/// contract and layout.
 #[derive(Debug, Clone, Default)]
 pub struct SubbandMetricCache {
     n_sb: usize,
-    rows: Vec<f64>,
-    keys: Vec<Option<(u64, u64)>>,
+    n_ues: usize,
+    /// Metric planes, subband-major: `cols[sb * n_ues + ue]`.
+    cols: Vec<f64>,
+    /// Per-UE cached rate-row version (valid when `key_ok`).
+    key_rv: Vec<u64>,
+    /// Per-UE cached metric revision (valid when `key_ok`).
+    key_mr: Vec<u64>,
+    /// Whether the UE's key is present (versioned source) at all.
+    key_ok: Vec<bool>,
     /// Rows served from cache since construction (diagnostics).
     pub hits: u64,
     /// Rows recomputed since construction (diagnostics).
@@ -38,6 +57,17 @@ impl SubbandMetricCache {
     /// An empty cache; sizes itself on first [`SubbandMetricCache::refresh`].
     pub fn new() -> SubbandMetricCache {
         SubbandMetricCache::default()
+    }
+
+    fn resize_if_needed(&mut self, n_ues: usize, n_sb: usize) {
+        if self.n_sb != n_sb || self.n_ues != n_ues {
+            self.n_sb = n_sb;
+            self.n_ues = n_ues;
+            self.cols = vec![f64::NEG_INFINITY; n_ues * n_sb];
+            self.key_rv = vec![0; n_ues];
+            self.key_mr = vec![0; n_ues];
+            self.key_ok = vec![false; n_ues];
+        }
     }
 
     /// Bring the matrix up to date for this TTI.
@@ -56,26 +86,55 @@ impl SubbandMetricCache {
     ) {
         let n_ues = rates.n_ues();
         let n_sb = rates.n_subbands();
-        if self.n_sb != n_sb || self.keys.len() != n_ues {
-            self.n_sb = n_sb;
-            self.rows = vec![f64::NEG_INFINITY; n_ues * n_sb];
-            self.keys = vec![None; n_ues];
-        }
-        for ue in 0..n_ues {
-            let key = rates.rates_version(ue).map(|rv| (rv, metric_rev(ue)));
-            if key.is_some() && key == self.keys[ue] {
-                self.hits += 1;
-                continue;
+        self.resize_if_needed(n_ues, n_sb);
+        if let Some(p) = rates.planes() {
+            // Flat path: rate rows read straight out of the source's
+            // UE-major plane, metrics scattered into the subband-major
+            // columns. Same values as the virtual path below.
+            for ue in 0..n_ues {
+                let rv = p.versions[ue];
+                let mr = metric_rev(ue);
+                if self.key_ok[ue] && self.key_rv[ue] == rv && self.key_mr[ue] == mr {
+                    self.hits += 1;
+                    continue;
+                }
+                self.misses += 1;
+                self.key_ok[ue] = true;
+                self.key_rv[ue] = rv;
+                self.key_mr[ue] = mr;
+                let row = &p.per_ue_sb[ue * n_sb..(ue + 1) * n_sb];
+                for (sb, &r) in row.iter().enumerate() {
+                    self.cols[sb * n_ues + ue] = if r > 0.0 {
+                        metric(ue, r)
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
             }
-            self.misses += 1;
-            self.keys[ue] = key;
-            for sb in 0..n_sb {
-                let r = rates.rate_in_subband(ue, sb);
-                self.rows[ue * n_sb + sb] = if r > 0.0 {
-                    metric(ue, r)
-                } else {
-                    f64::NEG_INFINITY
-                };
+        } else {
+            for ue in 0..n_ues {
+                match rates.rates_version(ue) {
+                    Some(rv) => {
+                        let mr = metric_rev(ue);
+                        if self.key_ok[ue] && self.key_rv[ue] == rv && self.key_mr[ue] == mr {
+                            self.hits += 1;
+                            continue;
+                        }
+                        self.key_ok[ue] = true;
+                        self.key_rv[ue] = rv;
+                        self.key_mr[ue] = mr;
+                    }
+                    None => self.key_ok[ue] = false,
+                }
+                self.misses += 1;
+                for sb in 0..n_sb {
+                    let r = rates.rate_in_subband(ue, sb);
+                    self.cols[sb * n_ues + ue] = if r > 0.0 {
+                        metric(ue, r)
+                    } else {
+                        f64::NEG_INFINITY
+                    };
+                }
             }
         }
     }
@@ -83,7 +142,20 @@ impl SubbandMetricCache {
     /// The cached metric for `(ue, sb)`; [`f64::NEG_INFINITY`] when the
     /// UE has no usable rate there.
     pub fn metric(&self, ue: usize, sb: usize) -> f64 {
-        self.rows[ue * self.n_sb + sb]
+        self.cols[sb * self.n_ues + ue]
+    }
+
+    /// The contiguous metric column of subband `sb`: one entry per UE.
+    /// This is the slice the per-subband argmax loops scan.
+    pub fn column(&self, sb: usize) -> &[f64] {
+        &self.cols[sb * self.n_ues..(sb + 1) * self.n_ues]
+    }
+
+    /// Drop every cached row (all keys invalidated); the matrix refills
+    /// on the next [`SubbandMetricCache::refresh`]. Used when UE-side
+    /// state changes outside the version contract (tests/faults).
+    pub fn invalidate_all(&mut self) {
+        self.key_ok.fill(false);
     }
 }
 
@@ -92,30 +164,54 @@ impl SubbandMetricCache {
 /// Evaluates `winner_of(sb)` once per *contiguous run* of RBs in the
 /// same subband (subband ids are monotone in RB), assigns each
 /// non-reserved RB of the run to the returned UE at that UE's subband
-/// rate, and skips reserved RBs. Keeping the per-RB `assign` loop (one
-/// f64 add per RB) preserves the exact accumulation order of the old
-/// per-RB schedulers, so allocations stay bit-identical.
+/// rate, and skips reserved RBs. The winner's subband rate is looked up
+/// once per run (it is constant across the run — that is what a subband
+/// is), and the per-RB `assign` loop (one f64 add per RB) preserves the
+/// exact accumulation order of the old per-RB schedulers, so
+/// allocations stay bit-identical.
 pub fn allocate_by_subband(
     alloc: &mut Allocation,
     rates: &dyn RateSource,
     mut winner_of: impl FnMut(usize) -> Option<u16>,
 ) {
-    let mut memo: Option<(usize, Option<u16>)> = None;
-    for rb in 0..rates.n_rbs() {
-        if rates.rb_reserved(rb) {
-            continue;
-        }
-        let sb = rates.subband_of(rb);
-        let w = match memo {
-            Some((s, w)) if s == sb => w,
-            _ => {
-                let w = winner_of(sb);
-                memo = Some((sb, w));
-                w
+    // Winner and its rate, memoized per contiguous subband run.
+    let mut memo: Option<(usize, Option<(u16, f64)>)> = None;
+    if let Some(p) = rates.planes() {
+        // Flat path: subband map and reservation flags read straight off
+        // the source's per-RB planes.
+        for (rb, (&sb, &resv)) in p.rb_to_sb.iter().zip(p.reserved.iter()).enumerate() {
+            if resv {
+                continue;
             }
-        };
-        if let Some(u) = w {
-            alloc.assign(rb, u, rates.rate_in_subband(u as usize, sb));
+            let w = match memo {
+                Some((s, w)) if s == sb => w,
+                _ => {
+                    let w = winner_of(sb).map(|u| (u, p.per_ue_sb[u as usize * p.n_sb + sb]));
+                    memo = Some((sb, w));
+                    w
+                }
+            };
+            if let Some((u, r)) = w {
+                alloc.assign(rb as u16, u, r);
+            }
+        }
+    } else {
+        for rb in 0..rates.n_rbs() {
+            if rates.rb_reserved(rb) {
+                continue;
+            }
+            let sb = rates.subband_of(rb);
+            let w = match memo {
+                Some((s, w)) if s == sb => w,
+                _ => {
+                    let w = winner_of(sb).map(|u| (u, rates.rate_in_subband(u as usize, sb)));
+                    memo = Some((sb, w));
+                    w
+                }
+            };
+            if let Some((u, r)) = w {
+                alloc.assign(rb, u, r);
+            }
         }
     }
 }
@@ -123,6 +219,7 @@ pub fn allocate_by_subband(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rates::TtiRates;
     use crate::types::FlatRates;
 
     #[test]
@@ -184,6 +281,142 @@ mod tests {
     }
 
     #[test]
+    fn plane_backed_refresh_matches_virtual_path() {
+        // Same source content, one behind planes() and one behind the
+        // virtual accessors only: identical cache contents.
+        let tti = TtiRates {
+            per_ue_sb: vec![10.0, 0.0, 25.0, 40.0, 5.0, 0.0],
+            rb_to_sb: vec![0, 0, 1, 1, 2, 2],
+            n_sb: 3,
+            n_ues: 2,
+            reserved: vec![false; 6],
+            versions: vec![4, 9],
+        };
+        struct NoPlanes<'a>(&'a TtiRates);
+        impl RateSource for NoPlanes<'_> {
+            fn rate(&self, ue: usize, rb: u16) -> f64 {
+                self.0.rate(ue, rb)
+            }
+            fn n_rbs(&self) -> u16 {
+                self.0.n_rbs()
+            }
+            fn n_ues(&self) -> usize {
+                self.0.n_ues()
+            }
+            fn n_subbands(&self) -> usize {
+                self.0.n_subbands()
+            }
+            fn subband_of(&self, rb: u16) -> usize {
+                self.0.subband_of(rb)
+            }
+            fn rate_in_subband(&self, ue: usize, sb: usize) -> f64 {
+                self.0.rate_in_subband(ue, sb)
+            }
+            fn rates_version(&self, ue: usize) -> Option<u64> {
+                self.0.rates_version(ue)
+            }
+        }
+        let metric = |u: usize, r: f64| r / (u + 1) as f64;
+        let mut flat = SubbandMetricCache::new();
+        flat.refresh(&tti, |_| 0, metric);
+        let mut virt = SubbandMetricCache::new();
+        virt.refresh(&NoPlanes(&tti), |_| 0, metric);
+        for ue in 0..2 {
+            for sb in 0..3 {
+                assert_eq!(
+                    flat.metric(ue, sb).to_bits(),
+                    virt.metric(ue, sb).to_bits(),
+                    "ue {ue} sb {sb}"
+                );
+            }
+        }
+        // Second flat refresh with stable versions: all hits.
+        flat.refresh(&tti, |_| 0, metric);
+        assert_eq!(flat.hits, 2);
+    }
+
+    #[test]
+    fn columns_are_contiguous_per_subband() {
+        let tti = TtiRates {
+            per_ue_sb: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            rb_to_sb: vec![0, 1],
+            n_sb: 2,
+            n_ues: 3,
+            reserved: vec![false; 2],
+            versions: vec![0; 3],
+        };
+        let mut cache = SubbandMetricCache::new();
+        cache.refresh(&tti, |_| 0, |_, r| r);
+        assert_eq!(cache.column(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(cache.column(1), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn invalidate_all_forces_recompute() {
+        let tti = TtiRates {
+            per_ue_sb: vec![1.0],
+            rb_to_sb: vec![0],
+            n_sb: 1,
+            n_ues: 1,
+            reserved: vec![false],
+            versions: vec![0],
+        };
+        let mut cache = SubbandMetricCache::new();
+        cache.refresh(&tti, |_| 0, |_, r| r);
+        cache.refresh(&tti, |_| 0, |_, r| r);
+        assert_eq!(cache.hits, 1);
+        cache.invalidate_all();
+        cache.refresh(&tti, |_| 0, |_, r| r);
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 2);
+    }
+
+    #[test]
+    fn detach_reattach_cycles_rows_without_staleness() {
+        // A detach is modelled upstream (outran-ran) as a zeroed rate
+        // row under an odd version tag; re-attach restores the live row
+        // under a fresh even tag. The cache must recompute on both edges
+        // — never serving the zeroed row after re-attach — and must
+        // reproduce the original metrics bit-for-bit, while the other
+        // UEs' rows stay cached throughout.
+        let live = vec![10.0, 20.0, 30.0, 40.0, 5.0, 15.0];
+        let mut tti = TtiRates {
+            per_ue_sb: live.clone(),
+            rb_to_sb: vec![0, 0, 1, 1, 2, 2],
+            n_sb: 3,
+            n_ues: 2,
+            reserved: vec![false; 6],
+            versions: vec![4, 6], // live rows carry even tags upstream
+        };
+        let metric = |u: usize, r: f64| r / (u as f64 + 2.0);
+        let mut cache = SubbandMetricCache::new();
+        cache.refresh(&tti, |_| 0, metric);
+        let before: Vec<u64> = (0..3).map(|sb| cache.metric(1, sb).to_bits()).collect();
+        assert_eq!(cache.misses, 2);
+
+        // Detach UE 1: zeroed row, odd tag → the whole row collapses to
+        // -inf (ineligible in any argmax or ε-band).
+        tti.per_ue_sb[3..6].fill(0.0);
+        tti.versions[1] = 7;
+        cache.refresh(&tti, |_| 0, metric);
+        for sb in 0..3 {
+            assert_eq!(cache.metric(1, sb), f64::NEG_INFINITY, "sb {sb}");
+        }
+        assert_eq!(cache.hits, 1, "UE 0 must be served from cache");
+        assert_eq!(cache.misses, 3);
+
+        // Re-attach with the same report content under a fresh even tag:
+        // recompute (tag moved), bit-identical metrics return.
+        tti.per_ue_sb[3..6].copy_from_slice(&live[3..6]);
+        tti.versions[1] = 8;
+        cache.refresh(&tti, |_| 0, metric);
+        let after: Vec<u64> = (0..3).map(|sb| cache.metric(1, sb).to_bits()).collect();
+        assert_eq!(before, after);
+        assert_eq!(cache.hits, 2);
+        assert_eq!(cache.misses, 4);
+    }
+
+    #[test]
     fn allocate_by_subband_matches_per_rb() {
         let src = FlatRates {
             per_ue: vec![4.0, 8.0],
@@ -193,5 +426,21 @@ mod tests {
         allocate_by_subband(&mut alloc, &src, |_| Some(1));
         assert_eq!(alloc.rbs_used(), 6);
         assert_eq!(alloc.bits_per_ue[1], 48.0);
+    }
+
+    #[test]
+    fn allocate_by_subband_plane_path_skips_reserved() {
+        let tti = TtiRates {
+            per_ue_sb: vec![4.0, 8.0],
+            rb_to_sb: vec![0, 0, 1, 1],
+            n_sb: 2,
+            n_ues: 1,
+            reserved: vec![false, true, false, false],
+            versions: vec![0],
+        };
+        let mut alloc = Allocation::empty(4, 1);
+        allocate_by_subband(&mut alloc, &tti, |_| Some(0));
+        assert_eq!(alloc.rb_to_ue, vec![Some(0), None, Some(0), Some(0)]);
+        assert_eq!(alloc.bits_per_ue[0], 4.0 + 8.0 + 8.0);
     }
 }

@@ -50,6 +50,7 @@ pub mod classic;
 pub mod outran;
 pub mod pf;
 pub mod qos;
+pub mod rates;
 pub mod srjf;
 pub mod types;
 
@@ -58,5 +59,6 @@ pub use classic::{BetScheduler, MlwdfScheduler};
 pub use outran::OutRanScheduler;
 pub use pf::{MtScheduler, PfCore, PfScheduler, RrScheduler};
 pub use qos::{CqaScheduler, PssScheduler, QosParams};
+pub use rates::TtiRates;
 pub use srjf::{SrjfMode, SrjfScheduler};
-pub use types::{Allocation, RateSource, Scheduler, UeTti};
+pub use types::{Allocation, RatePlanes, RateSource, Scheduler, UeTti};

@@ -118,6 +118,9 @@ impl Scheduler for OutRanScheduler {
         let cache = &self.cache;
         let epsilon = self.epsilon;
         allocate_by_subband(&mut alloc, rates, |sb| {
+            // Both Algorithm 1 passes scan the subband's contiguous
+            // metric column (one entry per UE).
+            let col = cache.column(sb);
             // First iteration: legacy best (Algorithm 1 lines 4–8).
             // Ineligible rows are -inf and can never win the strict
             // argmax, matching the old per-RB skip.
@@ -127,7 +130,7 @@ impl Scheduler for OutRanScheduler {
                 if !ue.active {
                     continue;
                 }
-                let m = cache.metric(u, sb);
+                let m = col[u];
                 if m > m_max {
                     m_max = m;
                     best = Some(u);
@@ -144,7 +147,7 @@ impl Scheduler for OutRanScheduler {
                 if u == legacy_best || !ue.active {
                     continue;
                 }
-                let m = cache.metric(u, sb);
+                let m = col[u];
                 if m < floor {
                     continue;
                 }

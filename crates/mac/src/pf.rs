@@ -157,16 +157,18 @@ impl Scheduler for PfScheduler {
             .refresh(rates, |u| core.rev(u), |u, r| core.metric(u, r));
         let cache = &self.cache;
         allocate_by_subband(&mut alloc, rates, |sb| {
-            // Strict-`>` argmax from -inf: ineligible rows (rate <= 0,
-            // stored as -inf) can never win, so this matches the old
-            // per-RB loop that skipped them explicitly.
+            // Strict-`>` argmax from -inf over the subband's contiguous
+            // metric column: ineligible rows (rate <= 0, stored as -inf)
+            // can never win, so this matches the old per-RB loop that
+            // skipped them explicitly.
+            let col = cache.column(sb);
             let mut best: Option<u16> = None;
             let mut best_m = f64::NEG_INFINITY;
             for (u, ue) in ues.iter().enumerate() {
                 if !ue.active {
                     continue;
                 }
-                let m = cache.metric(u, sb);
+                let m = col[u];
                 if m > best_m {
                     best = Some(u as u16);
                     best_m = m;
@@ -200,20 +202,31 @@ impl Scheduler for PfScheduler {
 }
 
 /// The Max Throughput scheduler: pure `r_{u,b}` metric.
+///
+/// Rides the same subband metric cache as PF (metric = rate, revision
+/// pinned to 0 since the metric has no scheduler-side state). The cached
+/// strict-`>` argmax from -inf selects exactly the UE the historical
+/// `best_r = 0.0` loop did: only strictly positive rates can win either
+/// way, and the iteration order is unchanged.
 #[derive(Debug, Clone, Default)]
-pub struct MtScheduler;
+pub struct MtScheduler {
+    cache: SubbandMetricCache,
+}
 
 impl Scheduler for MtScheduler {
     fn allocate(&mut self, _now: Time, ues: &[UeTti], rates: &dyn RateSource) -> Allocation {
         let mut alloc = Allocation::empty(rates.n_rbs(), ues.len());
+        self.cache.refresh(rates, |_| 0, |_, r| r);
+        let cache = &self.cache;
         allocate_by_subband(&mut alloc, rates, |sb| {
+            let col = cache.column(sb);
             let mut best: Option<u16> = None;
-            let mut best_r = 0.0;
+            let mut best_r = f64::NEG_INFINITY;
             for (u, ue) in ues.iter().enumerate() {
                 if !ue.active {
                     continue;
                 }
-                let r = rates.rate_in_subband(u, sb);
+                let r = col[u];
                 if r > best_r {
                     best = Some(u as u16);
                     best_r = r;
@@ -291,7 +304,7 @@ mod tests {
 
     #[test]
     fn mt_picks_best_channel_always() {
-        let mut mt = MtScheduler;
+        let mut mt = MtScheduler::default();
         let rates = FlatRates {
             per_ue: vec![10.0, 30.0, 20.0],
             rbs: 6,

@@ -61,6 +61,9 @@ impl Scheduler for SrjfScheduler {
             .map(|(i, _)| i)
             .collect();
         order.sort_by_key(|&i| ues[i].oracle_min_remaining.unwrap_or(u64::MAX));
+        // Plane-backed sources feed the sequential RB walk straight from
+        // their flat arrays (same values as `rate()`: reserved RBs read 0).
+        let planes = rates.planes();
         let mut rb: u16 = 0;
         for u in order {
             let ue = &ues[u];
@@ -74,7 +77,16 @@ impl Scheduler for SrjfScheduler {
             let need_bits = (need.saturating_mul(8)) as f64 + 256.0;
             let mut granted = 0.0;
             while rb < n_rbs && granted < need_bits {
-                let r = rates.rate(u, rb);
+                let r = match planes {
+                    Some(p) => {
+                        if p.reserved[rb as usize] {
+                            0.0
+                        } else {
+                            p.per_ue_sb[u * p.n_sb + p.rb_to_sb[rb as usize]]
+                        }
+                    }
+                    None => rates.rate(u, rb),
+                };
                 if r <= 0.0 {
                     break; // channel-blind: give up on this user's RBs
                 }

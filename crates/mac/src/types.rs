@@ -85,6 +85,40 @@ pub trait RateSource {
     fn rates_version(&self, _ue: usize) -> Option<u64> {
         None
     }
+
+    /// A borrowed structure-of-arrays view of this source's backing
+    /// planes, when it keeps its data flat (see [`RatePlanes`]). Sources
+    /// that expose one let schedulers run their inner loops directly over
+    /// contiguous arrays — no per-element virtual dispatch. The view must
+    /// agree exactly with the per-call accessors (`rate_in_subband`,
+    /// `subband_of`, `rb_reserved`, `rates_version`). Defaults to `None`
+    /// (callers fall back to the virtual accessors).
+    fn planes(&self) -> Option<RatePlanes<'_>> {
+        None
+    }
+}
+
+/// A flat, borrowed view of a [`RateSource`]'s backing arrays — the
+/// structure-of-arrays contract between the PHY-fed rate matrix and the
+/// scheduler kernels. Per-(UE, subband) data is UE-major
+/// (`per_ue_sb[ue * n_sb + sb]`); per-RB and per-UE planes are indexed
+/// directly.
+#[derive(Debug, Clone, Copy)]
+pub struct RatePlanes<'a> {
+    /// Achievable bits-per-RB for each `(ue, sb)`, ignoring reservations
+    /// (the [`RateSource::rate_in_subband`] values).
+    pub per_ue_sb: &'a [f64],
+    /// Per-UE rate-row version stamps ([`RateSource::rates_version`],
+    /// always present for plane-backed sources).
+    pub versions: &'a [u64],
+    /// RB index → subband index ([`RateSource::subband_of`]).
+    pub rb_to_sb: &'a [usize],
+    /// Per-RB reservation flags ([`RateSource::rb_reserved`]).
+    pub reserved: &'a [bool],
+    /// UE count.
+    pub n_ues: usize,
+    /// Subband count.
+    pub n_sb: usize,
 }
 
 /// A trivially uniform [`RateSource`] for unit tests.

@@ -216,7 +216,7 @@ proptest! {
         // principles: per-RB strict argmax over positive rates.
         let mut rng = Rng::new(seed);
         let mut world = World::new(n_ues, n_sb, rbs_per_sb);
-        let mut mt = MtScheduler;
+        let mut mt = MtScheduler::default();
         let mut now = Time::ZERO;
         for _ in 0..40 {
             now += Dur::from_millis(1);

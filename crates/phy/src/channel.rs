@@ -1,7 +1,8 @@
 //! The composed per-cell channel model.
 //!
-//! [`CellChannel`] owns one [`UeChannelState`] per attached UE and exposes
-//! exactly the interface a MAC scheduler consumes:
+//! [`CellChannel`] holds the per-UE channel state in a structure-of-arrays
+//! layout (one contiguous plane per quantity, indexed by dense UE index)
+//! and exposes exactly the interface a MAC scheduler consumes:
 //!
 //! * `reported_rate_per_rb(ue, rb)` — the achievable rate `r_{u,b}(t)` of
 //!   eq. (1), derived from the **reported** (periodic, possibly stale) CQI;
@@ -17,17 +18,33 @@
 //! ```
 //!
 //! with log-distance path loss, AR(1) log-normal shadowing decorrelating
-//! over distance, and the Rayleigh subband fading of [`crate::fading`].
+//! over distance, and the Rayleigh subband fading of [`crate::fading`]
+//! (the same AR(1) tap recursion, batched here over flat tap planes).
 //! `fading·scale` lets scenarios dial channel volatility: the paper's LTE
 //! traces are volatile (SRJF collapses, §6.2) while its 5G-LENA traces are
 //! "more stable and steady" (SRJF ideal, Appendix B) — we reproduce both
 //! regimes with the same machinery.
+//!
+//! ## Data layout & bit-identity
+//!
+//! The hot per-TTI state lives in flat `Vec`s keyed by `ue * n_subbands +
+//! sb` (tap planes, CQI planes) or by `ue` (large-scale terms, RNG
+//! streams, reporting clocks). The large-scale part of the SINR —
+//! `((tx − pathloss) − noise) + shadow` — is cached per UE and refreshed
+//! only when mobility or shadowing actually changes it, so the per-TTI
+//! loops are pure array passes. Every cached value is a pure function of
+//! the state it is derived from, every floating-point expression keeps
+//! the historical association order, and every RNG stream is walked in
+//! the historical draw order, so results are bit-identical to the
+//! previous per-UE-struct implementation (locked in by the golden-trace
+//! digest tests in `outran-ran`).
+
+use std::f64::consts::FRAC_1_SQRT_2;
 
 use outran_simcore::{Dur, Normal, Rng, Time};
 
 use crate::bler::BlerModel;
 use crate::cqi::{Cqi, CqiTable};
-use crate::fading::FadingProcess;
 use crate::mobility::RandomWalk;
 use crate::numerology::RadioConfig;
 use crate::UeId;
@@ -119,41 +136,65 @@ impl ChannelConfig {
     }
 }
 
-/// Per-UE dynamic channel state.
-#[derive(Debug, Clone)]
-pub struct UeChannelState {
-    walker: RandomWalk,
-    fading: FadingProcess,
-    shadow_db: f64,
-    /// Reported CQI per subband (what the scheduler sees).
-    reported: Vec<Cqi>,
-    /// Version stamp of `reported`: bumped on every delivered report, so
-    /// the MAC can cache per-UE metric rows and revalidate in O(1).
-    reported_rev: u64,
-    /// Pending report (measured, not yet delivered — models report delay).
-    pending: Vec<Cqi>,
-    /// Whether `pending` holds a measurement not yet delivered (guards
-    /// against re-delivering the same report every TTI).
-    pending_fresh: bool,
-    pending_due: Time,
-    next_report_at: Time,
-    rng: Rng,
-}
-
-/// The full cell channel: configuration + per-UE states.
+/// The full cell channel: configuration + per-UE state planes.
+///
+/// Per-(UE, subband) planes are indexed `ue * n_subbands + sb`; per-UE
+/// planes by the dense UE index. The RNG streams are exactly those of the
+/// historical per-UE-struct layout: one general-purpose stream per UE
+/// (shadowing innovations, CQI corruption, BLER draws), one mobility
+/// stream inside each [`RandomWalk`], and one fading stream per UE.
 #[derive(Debug, Clone)]
 pub struct CellChannel {
     cfg: ChannelConfig,
-    ues: Vec<UeChannelState>,
+    n_ues: usize,
+    n_subbands: usize,
     rbs_per_subband: u16,
     tti_index: u64,
+
+    // Large-scale state (cold path: changes on mobility steps only).
+    walkers: Vec<RandomWalk>,
+    shadow_db: Vec<f64>,
     dist_since_shadow: Vec<f64>,
-    /// Fault injection: UEs whose CQI reports are frozen (measurements
-    /// and pending deliveries suppressed; the scheduler keeps seeing the
-    /// last delivered report while the channel evolves underneath).
+    /// Cached `pathloss_db(distance)` per UE.
+    pathloss_db: Vec<f64>,
+    /// Cached `((tx − pathloss) − noise) + shadow` per UE — the exact
+    /// large-scale prefix of the SINR composition.
+    sinr_const_db: Vec<f64>,
+    /// Hoisted `cfg.noise_dbm()` (pure function of the config).
+    noise_dbm: f64,
+
+    // Small-scale fading tap planes (hot path: advanced every TTI).
+    fade_sb_re: Vec<f64>,
+    fade_sb_im: Vec<f64>,
+    fade_wb_re: Vec<f64>,
+    fade_wb_im: Vec<f64>,
+    /// Per-UE AR(1) coefficient (snapshots may carry per-UE values).
+    fade_rho: Vec<f64>,
+    /// Per-UE wideband mixing weight.
+    fade_flatness: Vec<f64>,
+    fade_rng: Vec<Rng>,
+
+    // CQI reporting planes.
+    /// Reported CQI per (UE, subband) — what the scheduler sees.
+    reported: Vec<Cqi>,
+    /// Pending (measured, undelivered) CQI per (UE, subband).
+    pending: Vec<Cqi>,
+    /// Version stamp of each UE's reported row: bumped on every delivered
+    /// report, so the MAC can cache per-UE metric rows and revalidate in
+    /// O(1).
+    reported_rev: Vec<u64>,
+    /// Whether `pending` holds a measurement not yet delivered (guards
+    /// against re-delivering the same report every TTI).
+    pending_fresh: Vec<bool>,
+    pending_due: Vec<Time>,
+    next_report_at: Vec<Time>,
+    ue_rng: Vec<Rng>,
+    /// Achievable bits per RB per TTI for each CQI value (pure function
+    /// of the MCS table and numerology).
+    rate_per_cqi: [f64; 16],
+
+    // Fault injection.
     cqi_frozen: Vec<bool>,
-    /// Fault injection: UEs whose new CQI measurements are replaced with
-    /// uniformly random values.
     cqi_corrupt: Vec<bool>,
     /// Reports suppressed by freeze windows (diagnostics).
     pub cqi_frozen_reports: u64,
@@ -167,54 +208,81 @@ impl CellChannel {
         let n_rbs = cfg.radio.num_rbs();
         let n_subbands = cfg.n_subbands.min(n_rbs as usize).max(1);
         let rbs_per_subband = n_rbs.div_ceil(n_subbands as u16);
-        let ues = (0..n_ues)
-            .map(|i| {
-                let mut rng = root_rng.fork(0x9999_0000 + i as u64);
-                let walker = RandomWalk::new(
-                    cfg.radius_m,
-                    cfg.min_radius_m,
-                    cfg.ue_speed_mps,
-                    rng.fork(1),
-                );
-                let fading = FadingProcess::new(
-                    n_subbands,
-                    cfg.doppler_hz(),
-                    cfg.radio.tti(),
-                    cfg.flatness,
-                    rng.fork(2),
-                );
-                let shadow_db = Normal::new(0.0, cfg.shadowing_sd_db).sample(&mut rng);
-                UeChannelState {
-                    walker,
-                    fading,
-                    shadow_db,
-                    reported: vec![Cqi(0); n_subbands],
-                    reported_rev: 0,
-                    pending: vec![Cqi(0); n_subbands],
-                    pending_fresh: false,
-                    pending_due: Time::ZERO,
-                    next_report_at: Time::ZERO,
-                    rng,
-                }
-            })
-            .collect::<Vec<_>>();
+        let rho = if cfg.doppler_hz() <= 0.0 {
+            1.0
+        } else {
+            // Clarke's rule of thumb: T_c ≈ 0.423 / f_d (see crate::fading).
+            let coherence_s = 0.423 / cfg.doppler_hz();
+            (-cfg.radio.tti().as_secs_f64() / coherence_s).exp()
+        };
+        let g = Normal::new(0.0, FRAC_1_SQRT_2);
+
         let mut ch = CellChannel {
             cfg,
-            ues,
+            n_ues,
+            n_subbands,
             rbs_per_subband,
             tti_index: 0,
+            walkers: Vec::with_capacity(n_ues),
+            shadow_db: Vec::with_capacity(n_ues),
             dist_since_shadow: vec![0.0; n_ues],
+            pathloss_db: vec![0.0; n_ues],
+            sinr_const_db: vec![0.0; n_ues],
+            noise_dbm: cfg.noise_dbm(),
+            fade_sb_re: Vec::with_capacity(n_ues * n_subbands),
+            fade_sb_im: Vec::with_capacity(n_ues * n_subbands),
+            fade_wb_re: Vec::with_capacity(n_ues),
+            fade_wb_im: Vec::with_capacity(n_ues),
+            fade_rho: vec![rho; n_ues],
+            fade_flatness: vec![cfg.flatness; n_ues],
+            fade_rng: Vec::with_capacity(n_ues),
+            reported: vec![Cqi(0); n_ues * n_subbands],
+            pending: vec![Cqi(0); n_ues * n_subbands],
+            reported_rev: vec![0; n_ues],
+            pending_fresh: vec![false; n_ues],
+            pending_due: vec![Time::ZERO; n_ues],
+            next_report_at: vec![Time::ZERO; n_ues],
+            ue_rng: Vec::with_capacity(n_ues),
+            rate_per_cqi: rate_lut(&cfg),
             cqi_frozen: vec![false; n_ues],
             cqi_corrupt: vec![false; n_ues],
             cqi_frozen_reports: 0,
             cqi_corrupted_reports: 0,
         };
+
+        for i in 0..n_ues {
+            // Historical per-UE stream layout: general stream forked off
+            // the root, walker and fading streams forked off that one.
+            let mut rng = root_rng.fork(0x9999_0000 + i as u64);
+            let walker = RandomWalk::new(
+                cfg.radius_m,
+                cfg.min_radius_m,
+                cfg.ue_speed_mps,
+                rng.fork(1),
+            );
+            // Initial taps: subband taps in index order, then the
+            // wideband tap, each drawing re before im (Tap::new order).
+            let mut frng = rng.fork(2);
+            for _ in 0..n_subbands {
+                ch.fade_sb_re.push(g.sample(&mut frng));
+                ch.fade_sb_im.push(g.sample(&mut frng));
+            }
+            ch.fade_wb_re.push(g.sample(&mut frng));
+            ch.fade_wb_im.push(g.sample(&mut frng));
+            ch.fade_rng.push(frng);
+            let shadow_db = Normal::new(0.0, cfg.shadowing_sd_db).sample(&mut rng);
+            ch.walkers.push(walker);
+            ch.shadow_db.push(shadow_db);
+            ch.ue_rng.push(rng);
+            ch.refresh_large_scale(i);
+        }
         // Prime reports so the first TTI already has usable CQI.
         for u in 0..n_ues {
-            let measured = ch.measure_cqi(u);
-            ch.ues[u].reported = measured.clone();
-            ch.ues[u].pending = measured;
-            ch.ues[u].reported_rev = 1;
+            ch.measure_into_pending(u);
+            let base = u * n_subbands;
+            ch.reported[base..base + n_subbands]
+                .copy_from_slice(&ch.pending[base..base + n_subbands]);
+            ch.reported_rev[u] = 1;
         }
         ch
     }
@@ -226,7 +294,7 @@ impl CellChannel {
 
     /// Number of attached UEs.
     pub fn n_ues(&self) -> usize {
-        self.ues.len()
+        self.n_ues
     }
 
     /// Number of RBs in the bandwidth.
@@ -244,12 +312,34 @@ impl CellChannel {
         self.cfg.pathloss_ref_db + 10.0 * self.cfg.pathloss_exp * d.log10()
     }
 
+    /// Recompute the cached large-scale SINR terms for `ue` (call after
+    /// any mobility or shadowing change).
+    fn refresh_large_scale(&mut self, ue: usize) {
+        let pl = self.pathloss_db(self.walkers[ue].pos().dist_origin());
+        self.pathloss_db[ue] = pl;
+        self.sinr_const_db[ue] = self.cfg.tx_power_dbm - pl - self.noise_dbm + self.shadow_db[ue];
+    }
+
+    /// Instantaneous fading power gain (linear) for `(ue, sb)` — the
+    /// [`crate::fading::FadingProcess::gain_linear`] composition over the
+    /// flat tap planes.
+    fn fading_gain_linear(&self, ue: usize, sb: usize) -> f64 {
+        let i = ue * self.n_subbands + sb;
+        let s = self.fade_sb_re[i] * self.fade_sb_re[i] + self.fade_sb_im[i] * self.fade_sb_im[i];
+        let w =
+            self.fade_wb_re[ue] * self.fade_wb_re[ue] + self.fade_wb_im[ue] * self.fade_wb_im[ue];
+        self.fade_flatness[ue] * w + (1.0 - self.fade_flatness[ue]) * s
+    }
+
+    /// Instantaneous fading gain in dB for `(ue, sb)`.
+    fn fading_gain_db(&self, ue: usize, sb: usize) -> f64 {
+        10.0 * self.fading_gain_linear(ue, sb).max(1e-12).log10()
+    }
+
     /// Ground-truth SINR (dB) of `ue` on subband `sb` right now.
     pub fn actual_sinr_db_subband(&self, ue: usize, sb: usize) -> f64 {
-        let st = &self.ues[ue];
-        let pl = self.pathloss_db(st.walker.pos().dist_origin());
-        let fading = st.fading.gain_db(sb) * self.cfg.fading_scale;
-        let sinr = self.cfg.tx_power_dbm - pl - self.cfg.noise_dbm() + st.shadow_db + fading;
+        let fading = self.fading_gain_db(ue, sb) * self.cfg.fading_scale;
+        let sinr = self.sinr_const_db[ue] + fading;
         sinr.min(self.cfg.sinr_cap_db)
     }
 
@@ -260,31 +350,30 @@ impl CellChannel {
 
     /// Mean (distance + shadowing only) SINR of a UE — the Fig 2b quantity.
     pub fn mean_sinr_db(&self, ue: usize) -> f64 {
-        let st = &self.ues[ue];
-        let pl = self.pathloss_db(st.walker.pos().dist_origin());
-        (self.cfg.tx_power_dbm - pl - self.cfg.noise_dbm() + st.shadow_db).min(self.cfg.sinr_cap_db)
+        self.sinr_const_db[ue].min(self.cfg.sinr_cap_db)
     }
 
-    fn measure_cqi(&mut self, ue: usize) -> Vec<Cqi> {
-        (0..self.cfg.n_subbands)
-            .map(|sb| {
-                self.cfg
-                    .table
-                    .sinr_to_cqi(self.actual_sinr_db_subband(ue, sb))
-            })
-            .collect()
+    /// Measure the current CQI of every subband of `ue` into its pending
+    /// row (no allocation — the hot-path replacement of the old
+    /// measure-into-a-fresh-`Vec`).
+    fn measure_into_pending(&mut self, ue: usize) {
+        let base = ue * self.n_subbands;
+        for sb in 0..self.n_subbands {
+            let sinr = self.actual_sinr_db_subband(ue, sb);
+            self.pending[base + sb] = self.cfg.table.sinr_to_cqi(sinr);
+        }
     }
 
     /// CQI the scheduler currently believes for `ue` on subband `sb`.
     pub fn reported_cqi_subband(&self, ue: usize, sb: usize) -> Cqi {
-        self.ues[ue].reported[sb]
+        self.reported[ue * self.n_subbands + sb]
     }
 
     /// Version stamp of `ue`'s reported CQI vector: two equal stamps
     /// guarantee identical reported rates on every subband, letting the
     /// MAC revalidate cached metric rows without touching the CQIs.
     pub fn report_version(&self, ue: usize) -> u64 {
-        self.ues[ue].reported_rev
+        self.reported_rev[ue]
     }
 
     /// CQI the scheduler currently believes for `ue` on RB `rb`.
@@ -296,14 +385,25 @@ impl CellChannel {
     /// reported CQI — the `r_{u,b}(t)` of eq. (1) expressed in bits/TTI.
     pub fn reported_rate_per_rb(&self, ue: usize, rb: u16) -> f64 {
         let cqi = self.reported_cqi(ue, rb);
-        self.cfg.table.efficiency(cqi) * self.cfg.radio.data_re_per_rb()
+        self.rate_per_cqi[cqi.0 as usize]
     }
 
     /// Same as [`CellChannel::reported_rate_per_rb`] but per subband
     /// (cheaper for the scheduler's inner loop).
     pub fn reported_rate_per_rb_subband(&self, ue: usize, sb: usize) -> f64 {
         let cqi = self.reported_cqi_subband(ue, sb);
-        self.cfg.table.efficiency(cqi) * self.cfg.radio.data_re_per_rb()
+        self.rate_per_cqi[cqi.0 as usize]
+    }
+
+    /// Fill `out` (length ≥ number of subbands) with `ue`'s reported
+    /// achievable rates per subband — the bulk form of
+    /// [`CellChannel::reported_rate_per_rb_subband`] for the MAC's flat
+    /// rate-matrix refresh.
+    pub fn fill_reported_rates(&self, ue: usize, out: &mut [f64]) {
+        let base = ue * self.n_subbands;
+        for (sb, r) in out.iter_mut().enumerate().take(self.n_subbands) {
+            *r = self.rate_per_cqi[self.reported[base + sb].0 as usize];
+        }
     }
 
     /// Draw the success/failure of a transport block sent to `ue` across
@@ -312,13 +412,56 @@ impl CellChannel {
         self.transmission_succeeds_with_gain(ue, sb, 0.0)
     }
 
+    /// Batched form of [`CellChannel::transmission_succeeds`] for one
+    /// UE's fresh transport blocks: for every subband whose scheduled
+    /// bits reach `min_bits`, draw the air-interface outcome into
+    /// `out[sb]`, ascending. The per-UE terms (wideband tap power,
+    /// flatness, large-scale SINR, RNG) are hoisted out of the subband
+    /// loop; draw order and results are identical to calling
+    /// [`CellChannel::transmission_succeeds`] per qualifying subband in
+    /// order. Below-threshold subbands draw nothing and read `false`.
+    pub fn fresh_outcomes(
+        &mut self,
+        ue: usize,
+        bits_per_sb: &[f64],
+        min_bits: f64,
+        out: &mut [bool],
+    ) {
+        let n_sb = self.n_subbands;
+        debug_assert!(bits_per_sb.len() >= n_sb && out.len() >= n_sb);
+        let base = ue * n_sb;
+        let sb_re = &self.fade_sb_re[base..base + n_sb];
+        let sb_im = &self.fade_sb_im[base..base + n_sb];
+        let reported = &self.reported[base..base + n_sb];
+        let w =
+            self.fade_wb_re[ue] * self.fade_wb_re[ue] + self.fade_wb_im[ue] * self.fade_wb_im[ue];
+        let flat = self.fade_flatness[ue];
+        let sinr_const = self.sinr_const_db[ue];
+        let cap = self.cfg.sinr_cap_db;
+        let scale = self.cfg.fading_scale;
+        let bler = self.cfg.bler;
+        let table = self.cfg.table;
+        let rng = &mut self.ue_rng[ue];
+        for sb in 0..n_sb {
+            out[sb] = false;
+            if bits_per_sb[sb] < min_bits {
+                continue;
+            }
+            let s = sb_re[sb] * sb_re[sb] + sb_im[sb] * sb_im[sb];
+            let gain_db = 10.0 * (flat * w + (1.0 - flat) * s).max(1e-12).log10();
+            let actual = (sinr_const + gain_db * scale).min(cap);
+            let p_err = bler.error_prob(table, reported[sb], actual);
+            out[sb] = !rng.chance(p_err);
+        }
+    }
+
     /// Like [`CellChannel::transmission_succeeds`], with an extra
     /// effective-SINR gain in dB (HARQ chase combining).
     pub fn transmission_succeeds_with_gain(&mut self, ue: usize, sb: usize, gain_db: f64) -> bool {
-        let cqi = self.ues[ue].reported[sb];
+        let cqi = self.reported[ue * self.n_subbands + sb];
         let actual = self.actual_sinr_db_subband(ue, sb) + gain_db;
         let p_err = self.cfg.bler.error_prob(self.cfg.table, cqi, actual);
-        !self.ues[ue].rng.chance(p_err)
+        !self.ue_rng[ue].chance(p_err)
     }
 
     /// Advance the channel by one TTI: fading always, mobility/shadowing on
@@ -351,6 +494,14 @@ impl CellChannel {
     /// composed walk covering every crossed mobility period, and the CQI
     /// reporting loop runs once at `now` — identical draw sequence
     /// whether a gap is skipped here or never existed.
+    ///
+    /// The three concerns run as three array passes. Splitting the old
+    /// per-UE loop this way is bit-identical because each pass walks a
+    /// disjoint RNG stream set per UE (fading stream / walker stream /
+    /// general stream), and within every single stream the draw order is
+    /// unchanged (for the shared general stream: shadowing innovations in
+    /// the mobility pass still precede that UE's corruption draws in the
+    /// reporting pass).
     fn advance_span(&mut self, now: Time, k: u64) {
         let from = self.tti_index;
         self.tti_index += k;
@@ -358,71 +509,122 @@ impl CellChannel {
         let mobility_every = (self.cfg.mobility_step.as_nanos() / tti.as_nanos()).max(1);
         let crossings = self.tti_index / mobility_every - from / mobility_every;
 
-        for ue in 0..self.ues.len() {
-            self.ues[ue].fading.advance_by(k);
-            if crossings > 0 {
-                let before = self.ues[ue].walker.pos();
-                self.ues[ue]
-                    .walker
-                    .advance(Dur(self.cfg.mobility_step.0 * crossings));
-                let after = self.ues[ue].walker.pos();
-                let moved = ((after.x - before.x).powi(2) + (after.y - before.y).powi(2)).sqrt();
-                self.dist_since_shadow[ue] += moved;
-                // Shadowing evolves once the UE crossed a correlation step.
-                if self.dist_since_shadow[ue] >= self.cfg.shadowing_corr_m / 4.0 {
-                    let rho = (-self.dist_since_shadow[ue] / self.cfg.shadowing_corr_m).exp();
-                    let innovation =
-                        Normal::new(0.0, self.cfg.shadowing_sd_db).sample(&mut self.ues[ue].rng);
-                    self.ues[ue].shadow_db =
-                        rho * self.ues[ue].shadow_db + (1.0 - rho * rho).sqrt() * innovation;
-                    self.dist_since_shadow[ue] = 0.0;
-                }
+        self.advance_fading(k);
+        if crossings > 0 {
+            self.advance_mobility(crossings);
+        }
+        self.reporting_pass(now, tti);
+    }
+
+    /// Batched AR(1) fading advance: one walk down each UE's fading
+    /// stream, updating the flat tap planes in place.
+    fn advance_fading(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let g = Normal::new(0.0, FRAC_1_SQRT_2);
+        let n_sb = self.n_subbands;
+        for ue in 0..self.n_ues {
+            let rho = self.fade_rho[ue];
+            if rho >= 1.0 {
+                continue; // static channel: no draws
             }
+            // k-step AR(1) composition: coefficient ρᵏ, one draw pair per
+            // tap (k == 1 keeps ρ itself, matching the historical
+            // single-step path bit for bit).
+            let rho_k = if k == 1 {
+                rho
+            } else {
+                rho.powi(k.min(i32::MAX as u64) as i32)
+            };
+            let w = (1.0 - rho_k * rho_k).sqrt();
+            let rng = &mut self.fade_rng[ue];
+            let base = ue * n_sb;
+            // Draw order per tap: re before im; subband taps in index
+            // order, wideband last (the Tap::advance order).
+            for t in base..base + n_sb {
+                let z_re = g.sample(rng);
+                let z_im = g.sample(rng);
+                self.fade_sb_re[t] = rho_k * self.fade_sb_re[t] + w * z_re;
+                self.fade_sb_im[t] = rho_k * self.fade_sb_im[t] + w * z_im;
+            }
+            let z_re = g.sample(rng);
+            let z_im = g.sample(rng);
+            self.fade_wb_re[ue] = rho_k * self.fade_wb_re[ue] + w * z_re;
+            self.fade_wb_im[ue] = rho_k * self.fade_wb_im[ue] + w * z_im;
+        }
+    }
+
+    /// Composed mobility + shadowing pass over all UEs, refreshing the
+    /// cached large-scale SINR terms for every UE that moved.
+    fn advance_mobility(&mut self, crossings: u64) {
+        for ue in 0..self.n_ues {
+            let before = self.walkers[ue].pos();
+            self.walkers[ue].advance(Dur(self.cfg.mobility_step.0 * crossings));
+            let after = self.walkers[ue].pos();
+            let moved = ((after.x - before.x).powi(2) + (after.y - before.y).powi(2)).sqrt();
+            self.dist_since_shadow[ue] += moved;
+            // Shadowing evolves once the UE crossed a correlation step.
+            if self.dist_since_shadow[ue] >= self.cfg.shadowing_corr_m / 4.0 {
+                let rho = (-self.dist_since_shadow[ue] / self.cfg.shadowing_corr_m).exp();
+                let innovation =
+                    Normal::new(0.0, self.cfg.shadowing_sd_db).sample(&mut self.ue_rng[ue]);
+                self.shadow_db[ue] =
+                    rho * self.shadow_db[ue] + (1.0 - rho * rho).sqrt() * innovation;
+                self.dist_since_shadow[ue] = 0.0;
+            }
+            self.refresh_large_scale(ue);
+        }
+    }
+
+    /// CQI reporting pass: deliver aged pending reports, take new
+    /// measurements on the reporting period, honour fault windows.
+    fn reporting_pass(&mut self, now: Time, tti: Dur) {
+        for ue in 0..self.n_ues {
             // Freeze fault: the reporting loop stalls — no pending
             // delivery, no new measurement. The scheduler keeps acting on
             // the last delivered report while the channel drifts.
             if self.cqi_frozen[ue] {
-                if self.ues[ue].next_report_at <= now {
+                if self.next_report_at[ue] <= now {
                     self.cqi_frozen_reports += 1;
-                    let st = &mut self.ues[ue];
-                    st.next_report_at = now + tti.mul(self.cfg.cqi_period_ttis as u64);
+                    self.next_report_at[ue] = now + tti.mul(self.cfg.cqi_period_ttis as u64);
                 }
                 continue;
             }
             // Deliver a pending report that has aged past the delay —
             // once per measurement (the fresh flag stops the old
             // per-TTI re-clone of an already-delivered report).
-            if self.ues[ue].pending_fresh && self.ues[ue].pending_due <= now {
-                let st = &mut self.ues[ue];
-                std::mem::swap(&mut st.reported, &mut st.pending);
-                st.pending_fresh = false;
-                st.reported_rev += 1;
+            if self.pending_fresh[ue] && self.pending_due[ue] <= now {
+                let base = ue * self.n_subbands;
+                for i in base..base + self.n_subbands {
+                    std::mem::swap(&mut self.reported[i], &mut self.pending[i]);
+                }
+                self.pending_fresh[ue] = false;
+                self.reported_rev[ue] += 1;
             }
             // Take a new measurement on the reporting period.
-            if self.ues[ue].next_report_at <= now {
-                let measured = if self.cqi_corrupt[ue] {
+            if self.next_report_at[ue] <= now {
+                if self.cqi_corrupt[ue] {
                     // Corruption fault: the report is garbage, drawn from
                     // the UE's own stream so runs stay deterministic.
                     self.cqi_corrupted_reports += 1;
-                    let st = &mut self.ues[ue];
-                    (0..self.cfg.n_subbands)
-                        .map(|_| Cqi(st.rng.index(16) as u8))
-                        .collect()
+                    let base = ue * self.n_subbands;
+                    for sb in 0..self.n_subbands {
+                        self.pending[base + sb] = Cqi(self.ue_rng[ue].index(16) as u8);
+                    }
                 } else {
-                    self.measure_cqi(ue)
-                };
-                let st = &mut self.ues[ue];
-                st.pending = measured;
-                st.pending_fresh = true;
-                st.pending_due = now + tti.mul(self.cfg.cqi_delay_ttis as u64);
-                st.next_report_at = now + tti.mul(self.cfg.cqi_period_ttis as u64);
+                    self.measure_into_pending(ue);
+                }
+                self.pending_fresh[ue] = true;
+                self.pending_due[ue] = now + tti.mul(self.cfg.cqi_delay_ttis as u64);
+                self.next_report_at[ue] = now + tti.mul(self.cfg.cqi_period_ttis as u64);
             }
         }
     }
 
     /// Distance of `ue` from the base station (m).
     pub fn ue_distance(&self, ue: usize) -> f64 {
-        self.ues[ue].walker.pos().dist_origin()
+        self.walkers[ue].pos().dist_origin()
     }
 
     /// Fault injection: freeze or unfreeze `ue`'s CQI reporting loop.
@@ -437,6 +639,15 @@ impl CellChannel {
     }
 }
 
+/// Precompute achievable bits/RB/TTI for every CQI value.
+fn rate_lut(cfg: &ChannelConfig) -> [f64; 16] {
+    let mut lut = [0.0; 16];
+    for (c, slot) in lut.iter_mut().enumerate() {
+        *slot = cfg.table.efficiency(Cqi(c as u8)) * cfg.radio.data_re_per_rb();
+    }
+    lut
+}
+
 /// Identifier helper: convert a [`UeId`] to the dense index used here.
 pub fn ue_index(id: UeId) -> usize {
     id.0 as usize
@@ -444,43 +655,43 @@ pub fn ue_index(id: UeId) -> usize {
 
 use outran_simcore::snap::{SnapError, SnapReader, SnapWriter};
 
-impl UeChannelState {
-    fn snap(&self, w: &mut SnapWriter) {
-        self.walker.snap(w);
-        self.fading.snap(w);
-        w.f64(self.shadow_db);
-        w.seq(self.reported.iter(), |w, c| w.u8(c.0));
-        w.u64(self.reported_rev);
-        w.seq(self.pending.iter(), |w, c| w.u8(c.0));
-        w.bool(self.pending_fresh);
-        w.time(self.pending_due);
-        w.time(self.next_report_at);
-        self.rng.snap(w);
-    }
-
-    fn unsnap(r: &mut SnapReader<'_>) -> Result<UeChannelState, SnapError> {
-        Ok(UeChannelState {
-            walker: RandomWalk::unsnap(r)?,
-            fading: FadingProcess::unsnap(r)?,
-            shadow_db: r.f64()?,
-            reported: r.seq(|r| Ok(Cqi(r.u8()?)))?,
-            reported_rev: r.u64()?,
-            pending: r.seq(|r| Ok(Cqi(r.u8()?)))?,
-            pending_fresh: r.bool()?,
-            pending_due: r.time()?,
-            next_report_at: r.time()?,
-            rng: Rng::unsnap(r)?,
-        })
-    }
-}
-
 impl CellChannel {
     /// Serialize the dynamic channel state (checkpointing). The
     /// configuration and derived layout (`cfg`, `rbs_per_subband`) are
     /// re-established by constructing the channel from the run config
     /// before [`CellChannel::load_snap`].
+    ///
+    /// The wire format is unchanged from the per-UE-struct layout: a
+    /// sequence of per-UE records (walker, fading taps + ρ + flatness +
+    /// fading RNG, shadow, reported/pending CQI rows, reporting clocks,
+    /// general RNG) followed by the cell-wide fields.
     pub fn snap(&self, w: &mut SnapWriter) {
-        w.seq(self.ues.iter(), |w, u| u.snap(w));
+        w.seq(0..self.n_ues, |w, ue| {
+            let base = ue * self.n_subbands;
+            self.walkers[ue].snap(w);
+            w.seq(base..base + self.n_subbands, |w, i| {
+                w.f64(self.fade_sb_re[i]);
+                w.f64(self.fade_sb_im[i]);
+            });
+            w.f64(self.fade_wb_re[ue]);
+            w.f64(self.fade_wb_im[ue]);
+            w.f64(self.fade_rho[ue]);
+            w.f64(self.fade_flatness[ue]);
+            self.fade_rng[ue].snap(w);
+            w.f64(self.shadow_db[ue]);
+            w.seq(
+                self.reported[base..base + self.n_subbands].iter(),
+                |w, c| w.u8(c.0),
+            );
+            w.u64(self.reported_rev[ue]);
+            w.seq(self.pending[base..base + self.n_subbands].iter(), |w, c| {
+                w.u8(c.0)
+            });
+            w.bool(self.pending_fresh[ue]);
+            w.time(self.pending_due[ue]);
+            w.time(self.next_report_at[ue]);
+            self.ue_rng[ue].snap(w);
+        });
         w.u64(self.tti_index);
         w.seq(self.dist_since_shadow.iter(), |w, &d| w.f64(d));
         w.seq(self.cqi_frozen.iter(), |w, &b| w.bool(b));
@@ -491,27 +702,92 @@ impl CellChannel {
 
     /// Overwrite this channel's dynamic state from [`CellChannel::snap`]
     /// output. The channel must have been constructed with the same
-    /// configuration (UE count is checked).
+    /// configuration (UE count and subband count are checked).
     pub fn load_snap(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
-        let ues = r.seq(UeChannelState::unsnap)?;
-        if ues.len() != self.ues.len() {
+        struct UeRecord {
+            walker: RandomWalk,
+            taps: Vec<(f64, f64)>,
+            wb: (f64, f64),
+            rho: f64,
+            flatness: f64,
+            fade_rng: Rng,
+            shadow_db: f64,
+            reported: Vec<Cqi>,
+            reported_rev: u64,
+            pending: Vec<Cqi>,
+            pending_fresh: bool,
+            pending_due: Time,
+            next_report_at: Time,
+            rng: Rng,
+        }
+        let ues = r.seq(|r| {
+            Ok(UeRecord {
+                walker: RandomWalk::unsnap(r)?,
+                taps: r.seq(|r| Ok((r.f64()?, r.f64()?)))?,
+                wb: (r.f64()?, r.f64()?),
+                rho: r.f64()?,
+                flatness: r.f64()?,
+                fade_rng: Rng::unsnap(r)?,
+                shadow_db: r.f64()?,
+                reported: r.seq(|r| Ok(Cqi(r.u8()?)))?,
+                reported_rev: r.u64()?,
+                pending: r.seq(|r| Ok(Cqi(r.u8()?)))?,
+                pending_fresh: r.bool()?,
+                pending_due: r.time()?,
+                next_report_at: r.time()?,
+                rng: Rng::unsnap(r)?,
+            })
+        })?;
+        if ues.len() != self.n_ues {
             return Err(SnapError::Malformed(
                 "UE count mismatch in channel snapshot",
             ));
         }
-        self.ues = ues;
+        for (ue, rec) in ues.into_iter().enumerate() {
+            if rec.taps.len() != self.n_subbands
+                || rec.reported.len() != self.n_subbands
+                || rec.pending.len() != self.n_subbands
+            {
+                return Err(SnapError::Malformed(
+                    "subband count mismatch in channel snapshot",
+                ));
+            }
+            let base = ue * self.n_subbands;
+            self.walkers[ue] = rec.walker;
+            for (i, (re, im)) in rec.taps.into_iter().enumerate() {
+                self.fade_sb_re[base + i] = re;
+                self.fade_sb_im[base + i] = im;
+            }
+            self.fade_wb_re[ue] = rec.wb.0;
+            self.fade_wb_im[ue] = rec.wb.1;
+            self.fade_rho[ue] = rec.rho;
+            self.fade_flatness[ue] = rec.flatness;
+            self.fade_rng[ue] = rec.fade_rng;
+            self.shadow_db[ue] = rec.shadow_db;
+            self.reported[base..base + self.n_subbands].copy_from_slice(&rec.reported);
+            self.pending[base..base + self.n_subbands].copy_from_slice(&rec.pending);
+            self.reported_rev[ue] = rec.reported_rev;
+            self.pending_fresh[ue] = rec.pending_fresh;
+            self.pending_due[ue] = rec.pending_due;
+            self.next_report_at[ue] = rec.next_report_at;
+            self.ue_rng[ue] = rec.rng;
+        }
         self.tti_index = r.u64()?;
         self.dist_since_shadow = r.seq(|r| r.f64())?;
         self.cqi_frozen = r.seq(|r| r.bool())?;
         self.cqi_corrupt = r.seq(|r| r.bool())?;
-        if self.dist_since_shadow.len() != self.ues.len()
-            || self.cqi_frozen.len() != self.ues.len()
-            || self.cqi_corrupt.len() != self.ues.len()
+        if self.dist_since_shadow.len() != self.n_ues
+            || self.cqi_frozen.len() != self.n_ues
+            || self.cqi_corrupt.len() != self.n_ues
         {
             return Err(SnapError::Malformed("per-UE vector length mismatch"));
         }
         self.cqi_frozen_reports = r.u64()?;
         self.cqi_corrupted_reports = r.u64()?;
+        // Rebuild the cached large-scale terms from the restored state.
+        for ue in 0..self.n_ues {
+            self.refresh_large_scale(ue);
+        }
         Ok(())
     }
 }
@@ -519,6 +795,7 @@ impl CellChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fading::FadingProcess;
 
     fn small_channel() -> CellChannel {
         let mut cfg = ChannelConfig::lte_default();
@@ -580,6 +857,51 @@ mod tests {
             }
         }
         assert!(changed, "channel should evolve with pedestrian Doppler");
+    }
+
+    #[test]
+    fn batched_fading_matches_fading_process_reference() {
+        // The SoA fading pass must walk each UE's fading stream exactly
+        // like a per-UE FadingProcess would: same draws, same tap values,
+        // same composed gains — bit for bit, for both single-step and
+        // composed multi-step advances.
+        let mut cfg = ChannelConfig::lte_default();
+        cfg.n_subbands = 4;
+        let n_sb = cfg.n_subbands;
+        let n_ues = 3;
+        let mut ch = CellChannel::new(cfg, n_ues, &Rng::new(42));
+        // Reference processes, forked exactly like the constructor does.
+        let mut refs: Vec<FadingProcess> = (0..n_ues)
+            .map(|i| {
+                let rng = Rng::new(42).fork(0x9999_0000 + i as u64);
+                FadingProcess::new(
+                    n_sb,
+                    cfg.doppler_hz(),
+                    cfg.radio.tti(),
+                    cfg.flatness,
+                    rng.fork(2),
+                )
+            })
+            .collect();
+        let tti = ch.config().radio.tti();
+        let mut idx = 0u64;
+        for step in [1u64, 1, 3, 1, 7, 1, 1, 250, 1] {
+            idx += step;
+            let now = Time::ZERO + Dur(tti.0 * idx);
+            ch.advance_to(now);
+            for f in refs.iter_mut() {
+                f.advance_by(step);
+            }
+            for (u, f) in refs.iter().enumerate() {
+                for sb in 0..n_sb {
+                    assert_eq!(
+                        ch.fading_gain_linear(u, sb).to_bits(),
+                        f.gain_linear(sb).to_bits(),
+                        "ue {u} sb {sb} after step {step}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -712,6 +1034,75 @@ mod tests {
         let after: Vec<f64> = (0..4).map(|u| ch.mean_sinr_db(u)).collect();
         for (b, a) in before.iter().zip(&after) {
             assert!((b - a).abs() < 1e-9, "static UE mean SINR moved");
+        }
+    }
+
+    #[test]
+    fn snap_roundtrip_is_bit_identical() {
+        // Snap → load into a fresh channel → both evolve identically.
+        let mut ch = small_channel();
+        let tti = ch.config().radio.tti();
+        let mut now = Time::ZERO;
+        for _ in 0..137 {
+            now += tti;
+            ch.advance_tti(now);
+        }
+        let mut w = SnapWriter::new();
+        ch.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = small_channel();
+        let mut r = SnapReader::new(&bytes);
+        restored.load_snap(&mut r).unwrap();
+        for _ in 0..219 {
+            now += tti;
+            ch.advance_tti(now);
+            restored.advance_tti(now);
+        }
+        for u in 0..8 {
+            assert_eq!(ch.report_version(u), restored.report_version(u));
+            for sb in 0..4 {
+                assert_eq!(
+                    ch.actual_sinr_db_subband(u, sb).to_bits(),
+                    restored.actual_sinr_db_subband(u, sb).to_bits(),
+                    "ue {u} sb {sb}"
+                );
+                assert_eq!(
+                    ch.reported_cqi_subband(u, sb),
+                    restored.reported_cqi_subband(u, sb)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fresh_outcomes_match_per_call_draws() {
+        // The batched per-UE pass must consume the same draws and return
+        // the same outcomes as per-subband transmission_succeeds calls.
+        let mut a = small_channel();
+        let mut b = small_channel();
+        let tti = a.config().radio.tti();
+        let mut now = Time::ZERO;
+        // Per-subband scheduled bits: a mix of below-threshold (skipped,
+        // no draw) and qualifying groups.
+        let bits = [0.0, 120.0, 7.9, 9000.0];
+        let mut out = [false; 4];
+        for step in 0..300 {
+            now += tti;
+            a.advance_tti(now);
+            b.advance_tti(now);
+            let ue = step % 8;
+            a.fresh_outcomes(ue, &bits, 8.0, &mut out);
+            for (sb, &bits_sb) in bits.iter().enumerate() {
+                if bits_sb < 8.0 {
+                    assert!(!out[sb], "skipped subband must read false");
+                    continue;
+                }
+                assert_eq!(
+                    out[sb],
+                    b.transmission_succeeds(ue, sb),
+                    "step {step} ue {ue} sb {sb}"
+                );
+            }
         }
     }
 

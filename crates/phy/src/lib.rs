@@ -58,7 +58,7 @@ pub mod mobility;
 pub mod numerology;
 pub mod scenario;
 
-pub use channel::{CellChannel, ChannelConfig, UeChannelState};
+pub use channel::{CellChannel, ChannelConfig};
 pub use cqi::{Cqi, CqiTable};
 pub use numerology::{Numerology, RadioConfig};
 pub use scenario::Scenario;

@@ -34,6 +34,13 @@ pub struct MacSchedStage {
     ues_tti: Vec<UeTti>, // outran-lint: allow(D9) -- rebuilt every active TTI
     had_data: Vec<bool>, // outran-lint: allow(D9) -- rebuilt every active TTI
     gbr: Vec<GbrRuntime>,
+    // O(1) GBR work probes: the earliest pending generation instant and
+    // the total queued packet count across bearers. Maintained by
+    // `add_gbr_bearer`/`serve_gbr`, recomputed from the restored bearer
+    // list on resume (`next_gen`/queues only move inside `serve_gbr`,
+    // so the cache cannot go stale between TTIs).
+    gbr_min_next_gen: Option<Time>,
+    gbr_queued_pkts: usize,
 }
 
 impl MacSchedStage {
@@ -45,6 +52,8 @@ impl MacSchedStage {
             ues_tti: Vec::new(),
             had_data: Vec::new(),
             gbr: Vec::new(),
+            gbr_min_next_gen: None,
+            gbr_queued_pkts: 0,
         }
     }
 
@@ -61,23 +70,25 @@ impl MacSchedStage {
         // Stagger the vocoder phase per bearer so packet generation is
         // not TTI-aligned (real talk spurts aren't).
         let phase = Dur::from_micros((self.gbr.len() as u64 * 7_301) % bearer.interval.as_micros());
+        let next_gen = now + bearer.interval + phase;
+        self.gbr_min_next_gen = Some(self.gbr_min_next_gen.map_or(next_gen, |m| m.min(next_gen)));
         self.gbr.push(GbrRuntime {
             bearer,
-            next_gen: now + bearer.interval + phase,
+            next_gen,
             queue: std::collections::VecDeque::new(),
         });
     }
 
     /// Whether any GBR bearer has a due generation or queued packet.
+    /// O(1): reads the cached earliest-generation/queued-count pair.
     pub fn gbr_has_work(&self, now: Time) -> bool {
-        self.gbr
-            .iter()
-            .any(|g| g.next_gen <= now || !g.queue.is_empty())
+        self.gbr_queued_pkts > 0 || self.gbr_min_next_gen.is_some_and(|t| t <= now)
     }
 
     /// Earliest future GBR packet generation, if any bearer is attached.
+    /// O(1): reads the cached minimum.
     pub fn next_gbr_gen(&self) -> Option<Time> {
-        self.gbr.iter().map(|g| g.next_gen).min()
+        self.gbr_min_next_gen
     }
 
     /// Bring the reusable rate matrix up to date for this TTI. A UE's
@@ -114,9 +125,7 @@ impl MacSchedStage {
             rates.versions[u] = want;
             let row = &mut rates.per_ue_sb[u * n_sb..(u + 1) * n_sb];
             if link_up {
-                for (sb, r) in row.iter_mut().enumerate() {
-                    *r = channel.reported_rate_per_rb_subband(u, sb);
-                }
+                channel.fill_reported_rates(u, row);
             } else {
                 row.fill(0.0);
             }
@@ -135,6 +144,8 @@ impl MacSchedStage {
         let rates = &mut self.rates;
         let mut next_free_rb: usize = 0;
         let n_rbs = rates.rb_to_sb.len();
+        let mut min_next: Option<Time> = None;
+        let mut queued_pkts: usize = 0;
         for g in &mut self.gbr {
             while g.next_gen <= now {
                 g.queue.push_back((g.next_gen, g.bearer.pkt_bytes));
@@ -164,7 +175,11 @@ impl MacSchedStage {
                 let delivered = now + tti;
                 gbr_latency.push(delivered.saturating_since(gen_at).as_millis_f64());
             }
+            min_next = Some(min_next.map_or(g.next_gen, |m| m.min(g.next_gen)));
+            queued_pkts += g.queue.len();
         }
+        self.gbr_min_next_gen = min_next;
+        self.gbr_queued_pkts = queued_pkts;
     }
 
     /// Build the per-UE scheduler inputs (O(1) occupancy reads, oracle
@@ -289,6 +304,10 @@ impl MacSchedStage {
                 queue: queue.into(),
             })
         })?;
+        // Rebuild the O(1) work-probe caches from the restored bearers
+        // (derived state; not part of the wire format).
+        self.gbr_min_next_gen = self.gbr.iter().map(|g| g.next_gen).min();
+        self.gbr_queued_pkts = self.gbr.iter().map(|g| g.queue.len()).sum();
         Ok(())
     }
 }
@@ -297,7 +316,7 @@ fn build_scheduler(cfg: &CellConfig, tti: Dur) -> Box<dyn Scheduler + Send> {
     let n = cfg.n_ues;
     match cfg.scheduler {
         SchedulerKind::Pf => Box::new(PfScheduler::with_tf(n, cfg.tf, tti)),
-        SchedulerKind::Mt => Box::new(MtScheduler),
+        SchedulerKind::Mt => Box::new(MtScheduler::default()),
         SchedulerKind::Rr => Box::new(RrScheduler::default()),
         SchedulerKind::Bet => Box::new(outran_mac::BetScheduler::new(n, cfg.tf, tti)),
         SchedulerKind::Mlwdf => Box::new(outran_mac::MlwdfScheduler::with_defaults(n, cfg.tf, tti)),

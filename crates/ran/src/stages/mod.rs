@@ -37,7 +37,6 @@ pub use phy_tx::PhyTxStage;
 pub use rlc_down::RlcDownStage;
 
 use crate::config::{CellConfig, RlcMode};
-use outran_mac::RateSource;
 use outran_pdcp::{FlowTable, MlfqConfig};
 use outran_rlc::am::{AmConfig, AmPdu, AmRx, AmTx};
 use outran_rlc::sdu::{RlcSdu, RlcSegment};
@@ -603,59 +602,10 @@ impl UeContext {
 
 // ---- typed inter-stage messages ----------------------------------------
 
-/// Per-TTI rate matrix adapter (subband-granular) for the scheduler.
-/// Reused across TTIs: the MAC stage rewrites only the rows whose
-/// content version moved.
-#[derive(Default)]
-pub struct TtiRates {
-    /// Per-(UE, subband) deliverable bits per RB this TTI.
-    pub per_ue_sb: Vec<f64>,
-    /// RB index → subband index.
-    pub rb_to_sb: Vec<usize>,
-    /// Subband count.
-    pub n_sb: usize,
-    /// UE count.
-    pub n_ues: usize,
-    /// RBs pre-empted by semi-persistent GBR grants this TTI: they read
-    /// as rate 0 to the dynamic scheduler, so every scheduler kind
-    /// respects the reservation without trait changes.
-    pub reserved: Vec<bool>,
-    /// Per-UE content version of the `per_ue_sb` row: the delivered CQI
-    /// report version doubled, plus one while the UE's link is down (a
-    /// zeroed row never aliases a live one). Schedulers key their metric
-    /// caches on this.
-    pub versions: Vec<u64>,
-}
-
-impl RateSource for TtiRates {
-    fn rate(&self, ue: usize, rb: u16) -> f64 {
-        if self.reserved[rb as usize] {
-            return 0.0;
-        }
-        self.per_ue_sb[ue * self.n_sb + self.rb_to_sb[rb as usize]]
-    }
-    fn n_rbs(&self) -> u16 {
-        self.rb_to_sb.len() as u16
-    }
-    fn n_ues(&self) -> usize {
-        self.n_ues
-    }
-    fn n_subbands(&self) -> usize {
-        self.n_sb
-    }
-    fn subband_of(&self, rb: u16) -> usize {
-        self.rb_to_sb[rb as usize]
-    }
-    fn rate_in_subband(&self, ue: usize, sb: usize) -> f64 {
-        self.per_ue_sb[ue * self.n_sb + sb]
-    }
-    fn rb_reserved(&self, rb: u16) -> bool {
-        self.reserved[rb as usize]
-    }
-    fn rates_version(&self, ue: usize) -> Option<u64> {
-        Some(self.versions[ue])
-    }
-}
+// The per-TTI rate matrix lives in `outran-mac` now (plane-backed so the
+// scheduler kernels can run over its flat arrays); re-exported here to
+// keep the stage-pipeline namespace stable.
+pub use outran_mac::TtiRates;
 
 /// One downlink packet crossing the ingress → RLC boundary: everything
 /// the RLC-down stage needs to admit it, without reaching back into the

@@ -34,6 +34,7 @@ pub struct PhyTxStage {
     // Reusable per-TTI buffers (no per-tick allocation); drained or
     // rewritten inside every active TTI, never read across a boundary.
     group_bits: Vec<f64>,  // outran-lint: allow(D9) -- per-TTI scratch
+    fresh_ok: Vec<bool>,   // outran-lint: allow(D9) -- per-TTI scratch
     segs: Vec<RlcSegment>, // outran-lint: allow(D9) -- per-TTI scratch
     transmitted: Vec<f64>, // outran-lint: allow(D9) -- per-TTI scratch
     delivered: Vec<f64>,   // outran-lint: allow(D9) -- per-TTI scratch
@@ -51,6 +52,7 @@ impl PhyTxStage {
             harq_held_bytes: 0,
             dropped_bytes: 0,
             group_bits: Vec::new(),
+            fresh_ok: Vec::new(),
             segs: Vec::new(),
             transmitted: Vec::new(),
             delivered: Vec::new(),
@@ -161,14 +163,27 @@ impl PhyTxStage {
                     }
                 }
             }
+            // Fresh transmissions: outcomes for the whole UE are drawn in
+            // one batched channel pass (after the HARQ retransmissions
+            // above, which share the UE's RNG stream, and after they have
+            // charged their airtime against `group_bits`). Draw order is
+            // identical to per-subband calls inside the loop below.
+            self.fresh_ok.clear();
+            self.fresh_ok.resize(n_sb, false);
+            self.channel.fresh_outcomes(
+                ue,
+                &group_bits[ue * n_sb..(ue + 1) * n_sb],
+                8.0,
+                &mut self.fresh_ok,
+            );
             for sb in 0..n_sb {
                 let bits = group_bits[ue * n_sb + sb];
                 if bits < 8.0 {
                     continue;
                 }
                 let budget_bits = bits;
-                // Fresh transmission.
-                let fresh_ok = self.channel.transmission_succeeds(ue, sb);
+                // Fresh transmission (pre-drawn above).
+                let fresh_ok = self.fresh_ok[sb];
                 if !explicit_harq && !fresh_ok {
                     // Folded model: the TB would need retransmission; we
                     // model it as wasted airtime with the data left queued.
